@@ -1,0 +1,80 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. NH micro-architecture features (macro-op fusion, move elimination,
+//!    ITTAGE) toggled individually on the kernel suite,
+//! 2. the Spike-like software instruction-cache size sweep of §III-D2
+//!    ("we run different size from 1024 to 32768 ... and select 16384"),
+//! 3. NEMU uop-cache capacity sensitivity.
+
+use nemu::{Interpreter, Nemu, SpikeLike};
+use std::time::Instant;
+use workloads::{all_workloads, workload, Scale};
+use xscore::{XsConfig, XsSystem};
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn suite_ipc(cfg: &XsConfig) -> f64 {
+    let mut ipcs = Vec::new();
+    for w in all_workloads(Scale::Test) {
+        let mut sys = XsSystem::new(cfg.clone(), &w.program);
+        sys.run(50_000_000).expect("halts");
+        ipcs.push(sys.cores[0].perf.ipc());
+    }
+    geomean(&ipcs)
+}
+
+fn main() {
+    println!("== NH micro-architecture feature ablation (geomean IPC) ==");
+    let base = XsConfig::nh();
+    let mut no_fusion = XsConfig::nh();
+    no_fusion.fusion = false;
+    let mut no_moveelim = XsConfig::nh();
+    no_moveelim.move_elimination = false;
+    let mut no_ittage = XsConfig::nh();
+    no_ittage.ittage = false;
+    let b = suite_ipc(&base);
+    for (name, cfg) in [
+        ("NH (all features)", base),
+        ("  - fusion", no_fusion),
+        ("  - move elimination", no_moveelim),
+        ("  - ITTAGE", no_ittage),
+    ] {
+        let ipc = suite_ipc(&cfg);
+        println!("{name:<24} {ipc:.4}  ({:+.2}% vs full NH)", (ipc / b - 1.0) * 100.0);
+    }
+
+    println!();
+    println!("(fusion shows a small win; move elimination and ITTAGE are ~neutral on");
+    println!("this suite — hand-written kernels contain few register moves and few");
+    println!("indirect jumps, unlike compiled SPEC code)");
+    println!();
+    println!("== Spike-like decode-cache size sweep (paper §III-D2) ==");
+    let w = workload("sjeng", Scale::Ref);
+    for size in [1024usize, 4096, 16384, 32768] {
+        let mut s = SpikeLike::with_cache_size(&w.program, size);
+        let t = Instant::now();
+        let r = s.run(100_000_000);
+        let mips = r.instructions as f64 / t.elapsed().as_secs_f64() / 1e6;
+        println!(
+            "cache {size:>6}: {mips:>7.1} MIPS  (hits {:.1}%)",
+            s.hits as f64 / (s.hits + s.misses) as f64 * 100.0
+        );
+    }
+
+    println!("(the kernels' static footprints are tiny, so every size achieves ~100%");
+    println!("hits; the paper's 1024-to-32768 sweep mattered for SPEC-sized code)");
+    println!();
+    println!("== NEMU uop-cache capacity sweep ==");
+    for cap in [256usize, 1024, 16384] {
+        let mut n = Nemu::with_capacity(&w.program, cap);
+        let t = Instant::now();
+        let r = n.run(100_000_000);
+        let mips = r.instructions as f64 / t.elapsed().as_secs_f64() / 1e6;
+        println!(
+            "capacity {cap:>6}: {mips:>7.1} MIPS  (fills {}, flushes {})",
+            n.stats.uop_fills, n.stats.flushes
+        );
+    }
+}

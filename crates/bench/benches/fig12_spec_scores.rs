@@ -1,0 +1,99 @@
+//! Figure 12: SPEC-like scores of XiangShan across generations, memory
+//! models, and LLC sizes.
+//!
+//! Configurations mirror the paper's series:
+//! - YQH-DDR4-1600 (the chip / RTL-simulation configuration),
+//! - YQH-FPGA-90C-AMAT (fixed 90-cycle memory),
+//! - NH-2MBLLC-FPGA-250C-AMAT and NH-4MBLLC-FPGA-250C-AMAT,
+//! - NH-DDR4-2400 (6 MB LLC, the tape-out configuration).
+//!
+//! "Score/GHz" is reported as a geomean-IPC proxy (the paper notes the
+//! metric is proportional to IPC). Shapes to check: NH above YQH, the
+//! 4 MB LLC above 2 MB, and the DDR configuration above fixed-AMAT for
+//! the int suite.
+
+use workloads::{all_workloads, Scale, WorkloadClass};
+use xscore::{MemoryModel, XsConfig, XsSystem};
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn main() {
+    let scale = match std::env::var("MINJIE_SCALE").as_deref() {
+        Ok("ref") => Scale::Ref,
+        Ok("test") => Scale::Test,
+        _ => Scale::Bench,
+    };
+    let configs: Vec<(&str, XsConfig)> = vec![
+        ("YQH-DDR4-1600", XsConfig::yqh()),
+        (
+            "YQH-FPGA-90C-AMAT",
+            XsConfig::yqh().with_memory(MemoryModel::FixedAmat(90)),
+        ),
+        (
+            "NH-2MBLLC-FPGA-250C",
+            XsConfig::nh()
+                .with_llc_mb(2)
+                .with_memory(MemoryModel::FixedAmat(250)),
+        ),
+        (
+            "NH-4MBLLC-FPGA-250C",
+            XsConfig::nh()
+                .with_llc_mb(4)
+                .with_memory(MemoryModel::FixedAmat(250)),
+        ),
+        ("NH-DDR4-2400", XsConfig::nh()),
+    ];
+    let suite = all_workloads(scale);
+    println!("Figure 12: XiangShan score/GHz proxy (IPC), {scale:?} inputs");
+    print!("{:<12}", "benchmark");
+    for (name, _) in &configs {
+        print!(" {name:>20}");
+    }
+    println!();
+    let mut per_config: Vec<(Vec<f64>, Vec<f64>)> = vec![(vec![], vec![]); configs.len()];
+    for w in &suite {
+        print!("{:<12}", w.name);
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let mut sys = XsSystem::new(cfg.clone(), &w.program);
+            let code = sys.run(100_000_000);
+            assert!(code.is_some(), "{} did not finish on config {i}", w.name);
+            let ipc = sys.cores[0].perf.ipc();
+            print!(" {ipc:>20.3}");
+            match w.class {
+                WorkloadClass::Int => per_config[i].0.push(ipc),
+                WorkloadClass::Fp => per_config[i].1.push(ipc),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!("{:<22} {:>12} {:>12}", "config", "int geomean", "fp geomean");
+    for (i, (name, _)) in configs.iter().enumerate() {
+        println!(
+            "{:<22} {:>12.3} {:>12.3}",
+            name,
+            geomean(&per_config[i].0),
+            geomean(&per_config[i].1)
+        );
+    }
+    println!();
+    let g2 = geomean(&per_config[2].0);
+    let g4 = geomean(&per_config[3].0);
+    let f2 = geomean(&per_config[2].1);
+    let f4 = geomean(&per_config[3].1);
+    println!(
+        "NH 4MB vs 2MB LLC: int {:+.1}%  fp {:+.1}%   (paper: +8.9% int, +5.4% fp)",
+        (g4 / g2 - 1.0) * 100.0,
+        (f4 / f2 - 1.0) * 100.0
+    );
+    let yqh = geomean(&per_config[0].0.iter().chain(&per_config[0].1).copied().collect::<Vec<_>>());
+    let nh = geomean(&per_config[4].0.iter().chain(&per_config[4].1).copied().collect::<Vec<_>>());
+    println!(
+        "NH-DDR vs YQH-DDR overall: {:.3} vs {:.3} ({:+.1}%)  (paper: 10.06 vs 7.67 per GHz)",
+        nh,
+        yqh,
+        (nh / yqh - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 14 (and the §IV-D experiment): IPC difference when PUBS is
+//! enabled, on sjeng checkpoints.
+//!
+//! The paper's *negative* result: "we do not observe any visible
+//! performance deviation for PUBS on sjeng" on XiangShan's wide backend,
+//! even though the original PUBS paper reported +6.5% on a narrower
+//! machine. Expect per-checkpoint IPC deltas scattered around 0.
+
+use checkpoint::generate_checkpoints;
+use workloads::{workload, Scale};
+use xscore::{XsConfig, XsSystem};
+
+/// Run one checkpoint on a config: warm up, then measure the window.
+/// Returns None when the checkpoint is too close to program end.
+fn measure(cfg: &XsConfig, c: &checkpoint::Checkpoint, warmup: u64, window: u64) -> Option<f64> {
+    let mut sys = XsSystem::from_memory(cfg.clone(), c.memory.clone(), c.state.pc);
+    sys.restore(&c.state);
+    // Warm-up period: micro-architectural state fills (paper §III-D3).
+    let mut guard = 0u64;
+    while sys.cores[0].instret() < warmup && !sys.all_halted() {
+        sys.tick();
+        guard += 1;
+        assert!(guard < 80_000_000, "warmup did not converge");
+    }
+    let c0 = sys.cores[0].cycle();
+    let i0 = sys.cores[0].instret();
+    while sys.cores[0].instret() < i0 + window && !sys.all_halted() {
+        sys.tick();
+    }
+    let di = sys.cores[0].instret() - i0;
+    if di < window / 2 {
+        return None;
+    }
+    let dc = sys.cores[0].cycle() - c0;
+    Some(di as f64 / dc.max(1) as f64)
+}
+
+fn main() {
+    let w = workload("sjeng", Scale::Ref);
+    // ~10 checkpoints like the paper's sjeng experiment.
+    let set = generate_checkpoints(&w.program, 300_000, 10, 500_000_000);
+    println!(
+        "Figure 14: PUBS IPC delta on {} sjeng checkpoints (AGE baseline)",
+        set.checkpoints.len()
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "checkpoint", "AGE ipc", "AGE+PUBS", "delta"
+    );
+    let age = XsConfig::nh();
+    let pubs = XsConfig::nh().with_pubs();
+    let (warmup, window) = (50_000, 100_000);
+    let mut deltas = Vec::new();
+    for c in &set.checkpoints {
+        let (Some(a), Some(p)) = (
+            measure(&age, c, warmup, window),
+            measure(&pubs, c, warmup, window),
+        ) else {
+            println!("{:<12} {:>12} (skipped: too close to program end)", format!("#{}", c.interval), "-");
+            continue;
+        };
+        let d = (p / a - 1.0) * 100.0;
+        deltas.push(d);
+        println!(
+            "{:<12} {:>12.5} {:>12.5} {:>9.3}%",
+            format!("#{}", c.interval),
+            a,
+            p,
+            d
+        );
+    }
+    let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    println!();
+    println!(
+        "mean IPC delta: {mean:+.3}%   (paper: no visible deviation; original PUBS paper: +6.5%)"
+    );
+}

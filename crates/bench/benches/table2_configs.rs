@@ -1,0 +1,16 @@
+//! Table II: tape-out micro-architecture parameters of YQH and NH.
+//!
+//! Printed directly from the configuration presets, so the table stays
+//! in sync with what the model actually simulates.
+
+use xscore::XsConfig;
+
+fn main() {
+    println!("Table II: micro-architecture parameters of the two generations");
+    println!();
+    print!("{}", XsConfig::table2(&XsConfig::yqh(), &XsConfig::nh_dual()));
+    println!();
+    println!("(ISA / process / frequency rows are tape-out facts, not model");
+    println!("parameters: YQH = RV64GC, 28nm, 1.3GHz, 1 core; NH = RV64GCBK,");
+    println!("14nm, 2GHz, 2 cores.)");
+}

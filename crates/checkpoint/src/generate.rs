@@ -1,0 +1,207 @@
+//! Checkpoint generation with NEMU (paper §III-D3: "checkpoints can be
+//! efficiently generated using NEMU").
+//!
+//! The generator executes the program on a NEMU hart, collecting a
+//! basic-block vector per fixed-length instruction interval and cloning
+//! the (copy-on-write) architectural state + memory at every interval
+//! boundary. SimPoint clustering then selects the representative
+//! intervals, and only their checkpoints are kept.
+
+use crate::format::Checkpoint;
+use crate::simpoint::{simpoints, BbvCollector, SimPoint};
+use nemu::hart::{self, Hart};
+use riscv_isa::asm::Program;
+use riscv_isa::mem::SparseMemory;
+
+/// Result of profiling + checkpointing one program.
+#[derive(Debug)]
+pub struct CheckpointSet {
+    /// Selected checkpoints (one per SimPoint cluster), interval order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// The SimPoint selection.
+    pub points: Vec<SimPoint>,
+    /// Total dynamic instructions profiled.
+    pub total_instructions: u64,
+    /// Interval length used.
+    pub interval_len: u64,
+}
+
+/// Generate SimPoint checkpoints for `program`.
+///
+/// `interval_len` is the interval size in instructions (the paper uses
+/// tens of millions for SPEC; tests use thousands), `k` the maximum
+/// number of clusters.
+///
+/// # Panics
+///
+/// Panics if the program does not halt within `max_insts`.
+pub fn generate_checkpoints(
+    program: &Program,
+    interval_len: u64,
+    k: usize,
+    max_insts: u64,
+) -> CheckpointSet {
+    let mut mem = SparseMemory::new();
+    program.load_into(&mut mem);
+    let mut h = Hart::new(program.entry, 0);
+
+    let mut bbv = BbvCollector::new();
+    let mut vectors: Vec<Vec<f64>> = Vec::new();
+    // Boundary snapshots: (state, memory, instret) per interval start.
+    let mut boundaries: Vec<(riscv_isa::state::ArchState, SparseMemory, u64)> =
+        vec![(h.state.clone(), mem.clone(), 0)];
+
+    let mut block_pc = h.state.pc;
+    let mut block_len = 0u64;
+    let mut executed = 0u64;
+    while !h.is_halted() {
+        assert!(executed < max_insts, "program did not halt while profiling");
+        let info = hart::step(&mut h, &mut mem);
+        executed += 1;
+        block_len += 1;
+        let block_ended = info.inst.ends_block() || info.trap.is_some();
+        if block_ended {
+            bbv.record(block_pc, block_len);
+            block_pc = h.state.pc;
+            block_len = 0;
+        }
+        if executed % interval_len == 0 {
+            if block_len > 0 {
+                bbv.record(block_pc, block_len);
+                block_len = 0;
+                block_pc = h.state.pc;
+            }
+            vectors.push(bbv.finish());
+            boundaries.push((h.state.clone(), mem.clone(), executed));
+        }
+    }
+    // Final partial interval.
+    if block_len > 0 {
+        bbv.record(block_pc, block_len);
+    }
+    if bbv.instructions() > 0 {
+        vectors.push(bbv.finish());
+    }
+    assert!(!vectors.is_empty(), "program too short for one interval");
+
+    let points = simpoints(&vectors, k, 0xdeadbeef);
+    let checkpoints = points
+        .iter()
+        .map(|p| {
+            let (state, memory, instret) = boundaries[p.interval].clone();
+            Checkpoint {
+                state,
+                memory,
+                instret,
+                weight: p.weight,
+                interval: p.interval,
+            }
+        })
+        .collect();
+    CheckpointSet {
+        checkpoints,
+        points,
+        total_instructions: executed,
+        interval_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::asm::{reg::*, Asm};
+
+    /// A two-phase program: a multiply-heavy phase then a memory phase.
+    fn two_phase_program() -> Program {
+        let mut a = Asm::new(0x8000_0000);
+        // Phase 1: arithmetic.
+        a.li(S0, 0);
+        a.li(S1, 4000);
+        a.li(A0, 1);
+        let p1 = a.bound_label();
+        a.mul(A0, A0, S1);
+        a.xor(A0, A0, S0);
+        a.addi(S0, S0, 1);
+        a.bne(S0, S1, p1);
+        // Phase 2: memory streaming.
+        a.li(S0, 0);
+        a.li(S2, 0x8002_0000);
+        let p2 = a.bound_label();
+        a.slli(T0, S0, 3);
+        a.add(T0, T0, S2);
+        a.sd(S0, 0, T0);
+        a.ld(T1, 0, T0);
+        a.add(A0, A0, T1);
+        a.addi(S0, S0, 1);
+        a.bne(S0, S1, p2);
+        a.andi(A0, A0, 0xffff);
+        a.ebreak();
+        a.assemble()
+    }
+
+    #[test]
+    fn generates_weighted_checkpoints() {
+        let p = two_phase_program();
+        let set = generate_checkpoints(&p, 2_000, 4, 10_000_000);
+        assert!(set.total_instructions > 20_000);
+        assert!(!set.checkpoints.is_empty());
+        assert!(set.checkpoints.len() <= 4);
+        let wsum: f64 = set.points.iter().map(|p| p.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+        // Checkpoints sit at interval boundaries.
+        for c in &set.checkpoints {
+            assert_eq!(c.instret % 2_000, 0);
+        }
+    }
+
+    #[test]
+    fn checkpoints_resume_exactly() {
+        // Resuming NEMU from each checkpoint and running to the end must
+        // give the same exit code as an uninterrupted run.
+        let p = two_phase_program();
+        let mut full = nemu::Nemu::new(&p);
+        use nemu::Interpreter;
+        let expected = full.run(10_000_000).exit_code.expect("halts");
+
+        let set = generate_checkpoints(&p, 3_000, 3, 10_000_000);
+        for c in &set.checkpoints {
+            let mut h = Hart::new(c.state.pc, 0);
+            h.state = c.state.clone();
+            let mut mem = c.memory.clone();
+            for _ in 0..10_000_000u64 {
+                if h.is_halted() {
+                    break;
+                }
+                hart::step(&mut h, &mut mem);
+            }
+            assert_eq!(h.halted, Some(expected), "checkpoint {:?}", c);
+        }
+    }
+
+    #[test]
+    fn phases_map_to_distinct_simpoints() {
+        let p = two_phase_program();
+        let set = generate_checkpoints(&p, 2_000, 2, 10_000_000);
+        // Phase 1 executes ~16k instructions (4000 iterations x 4 insts),
+        // i.e. intervals 0..8; phase 2 fills the rest. With k=2 the two
+        // representatives must fall on opposite sides of that boundary.
+        assert_eq!(set.points.len(), 2, "{:?}", set.points);
+        let boundary = 16_000 / set.interval_len as usize;
+        let (a, b) = (set.points[0].interval, set.points[1].interval);
+        assert!(
+            (a < boundary) != (b < boundary),
+            "points {:?} boundary {boundary}",
+            set.points
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn non_halting_program_is_detected() {
+        let mut a = Asm::new(0x8000_0000);
+        let l = a.bound_label();
+        a.j(l);
+        let p = a.assemble();
+        let _ = generate_checkpoints(&p, 1_000, 2, 50_000);
+    }
+}

@@ -1,0 +1,21 @@
+//! Architectural checkpoints and SimPoint sampling — the MINJIE
+//! performance-evaluation workflow of paper §III-D3.
+//!
+//! - [`format`](mod@format): the ISA-level checkpoint format of Fig. 9, including a
+//!   restore loader that uses only basic RV64 privilege instructions (no
+//!   external debug mode),
+//! - [`simpoint`]: basic-block-vector profiling and k-means++ clustering,
+//! - [`generate`]: NEMU-driven checkpoint generation.
+//!
+//! The intended flow (reproduced end to end by the `perf_eval` example
+//! and the Fig. 12 bench): profile a workload with NEMU, cluster its
+//! intervals, simulate only the representative checkpoints on the cycle
+//! model with warm-up, and report the weighted CPI.
+
+pub mod format;
+pub mod generate;
+pub mod simpoint;
+
+pub use format::{Checkpoint, LOADER_BASE};
+pub use generate::{generate_checkpoints, CheckpointSet};
+pub use simpoint::{simpoints, weighted_cpi, BbvCollector, SimPoint, PROJECTED_DIM};

@@ -1,0 +1,40 @@
+//! NEMU — the fast RISC-V instruction-set interpreter of the MINJIE
+//! platform (paper §III-D) — together with the three baseline interpreters
+//! it is evaluated against in Fig. 8.
+//!
+//! | Interpreter | Paper counterpart | Structure |
+//! |---|---|---|
+//! | [`Nemu`] | NEMU | trace-organized uop cache, block chaining, host FP |
+//! | [`SpikeLike`] | Spike | direct-mapped decode cache, SoftFloat arithmetic |
+//! | [`DromajoLike`] | Dromajo | plain decode-and-execute, no cache |
+//! | [`QemuTciLike`] | QEMU-TCI | per-instruction bytecode dispatch layer |
+//!
+//! All four share the architectural semantics in [`hart`], so they agree
+//! instruction-for-instruction — which is also what makes [`Nemu`] (via
+//! its architectural slow path) an "easy-to-develop REF for DiffTest"
+//! exactly as the paper uses it.
+//!
+//! # Example
+//!
+//! ```
+//! use nemu::{Interpreter, Nemu};
+//! use riscv_isa::asm::{reg::*, Asm};
+//!
+//! let mut a = Asm::new(0x8000_0000);
+//! a.li(A0, 41);
+//! a.addi(A0, A0, 1);
+//! a.ebreak();
+//! let program = a.assemble();
+//!
+//! let mut nemu = Nemu::new(&program);
+//! let result = nemu.run(1_000);
+//! assert_eq!(result.exit_code, Some(42));
+//! ```
+
+pub mod fast;
+pub mod hart;
+pub mod interp;
+
+pub use fast::{Nemu, NemuStats};
+pub use hart::{Hart, MemAccess, StepInfo};
+pub use interp::{boot, DromajoLike, Interpreter, QemuTciLike, RunResult, SpikeLike};

@@ -1,0 +1,861 @@
+//! Instruction decoding for 32-bit and compressed (RVC) encodings.
+//!
+//! The decoder maps raw bits into [`DecodedInst`]. Compressed instructions
+//! are expanded straight into the same operation space (e.g. `c.addi`
+//! becomes [`Op::Addi`] with `len == 2`), so everything past decode is
+//! encoding-agnostic.
+
+use crate::op::{DecodedInst, Op};
+
+#[inline]
+fn sext(value: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((value << shift) as i64) >> shift
+}
+
+#[inline]
+fn bit(raw: u32, i: u32) -> u64 {
+    ((raw >> i) & 1) as u64
+}
+
+#[inline]
+fn bits(raw: u32, hi: u32, lo: u32) -> u64 {
+    ((raw >> lo) & ((1 << (hi - lo + 1)) - 1)) as u64
+}
+
+/// Decode an instruction from its raw bits.
+///
+/// If the low two bits are `11`, the full 32 bits are decoded; otherwise
+/// only the low 16 bits are consumed as a compressed instruction.
+///
+/// ```
+/// use riscv_isa::{decode, Op};
+/// let inst = decode(0x0000_4501); // c.li a0, 0
+/// assert_eq!(inst.op, Op::Addi);
+/// assert_eq!(inst.len, 2);
+/// ```
+#[inline]
+pub fn decode(raw: u32) -> DecodedInst {
+    if raw & 0b11 == 0b11 {
+        decode32(raw)
+    } else {
+        decode16(raw as u16)
+    }
+}
+
+/// Decode a full 32-bit instruction.
+pub fn decode32(raw: u32) -> DecodedInst {
+    let opcode = raw & 0x7f;
+    let rd = ((raw >> 7) & 0x1f) as u8;
+    let funct3 = (raw >> 12) & 0x7;
+    let rs1 = ((raw >> 15) & 0x1f) as u8;
+    let rs2 = ((raw >> 20) & 0x1f) as u8;
+    let funct7 = (raw >> 25) & 0x7f;
+
+    let imm_i = sext((raw >> 20) as u64, 12);
+    let imm_s = sext((bits(raw, 31, 25) << 5) | bits(raw, 11, 7), 12);
+    let imm_b = sext(
+        (bit(raw, 31) << 12) | (bit(raw, 7) << 11) | (bits(raw, 30, 25) << 5) | (bits(raw, 11, 8) << 1),
+        13,
+    );
+    let imm_u = sext((raw & 0xffff_f000) as u64, 32);
+    let imm_j = sext(
+        (bit(raw, 31) << 20) | (bits(raw, 19, 12) << 12) | (bit(raw, 20) << 11) | (bits(raw, 30, 21) << 1),
+        21,
+    );
+
+    let mut d = DecodedInst {
+        rd,
+        rs1,
+        rs2,
+        rm: funct3 as u8,
+        len: 4,
+        raw,
+        ..Default::default()
+    };
+
+    macro_rules! inst {
+        ($op:expr, $imm:expr) => {{
+            d.op = $op;
+            d.imm = $imm;
+            d
+        }};
+        ($op:expr) => {{
+            d.op = $op;
+            d
+        }};
+    }
+
+    match opcode {
+        0x37 => inst!(Op::Lui, imm_u),
+        0x17 => inst!(Op::Auipc, imm_u),
+        0x6f => inst!(Op::Jal, imm_j),
+        0x67 if funct3 == 0 => inst!(Op::Jalr, imm_i),
+        0x63 => {
+            let op = match funct3 {
+                0 => Op::Beq,
+                1 => Op::Bne,
+                4 => Op::Blt,
+                5 => Op::Bge,
+                6 => Op::Bltu,
+                7 => Op::Bgeu,
+                _ => Op::Illegal,
+            };
+            inst!(op, imm_b)
+        }
+        0x03 => {
+            let op = match funct3 {
+                0 => Op::Lb,
+                1 => Op::Lh,
+                2 => Op::Lw,
+                3 => Op::Ld,
+                4 => Op::Lbu,
+                5 => Op::Lhu,
+                6 => Op::Lwu,
+                _ => Op::Illegal,
+            };
+            inst!(op, imm_i)
+        }
+        0x23 => {
+            let op = match funct3 {
+                0 => Op::Sb,
+                1 => Op::Sh,
+                2 => Op::Sw,
+                3 => Op::Sd,
+                _ => Op::Illegal,
+            };
+            inst!(op, imm_s)
+        }
+        0x13 => {
+            // OP-IMM: shifts use a 6-bit shamt on RV64.
+            let shamt6 = bits(raw, 25, 20) as i64;
+            let funct6 = bits(raw, 31, 26);
+            match funct3 {
+                0 => inst!(Op::Addi, imm_i),
+                2 => inst!(Op::Slti, imm_i),
+                3 => inst!(Op::Sltiu, imm_i),
+                4 => inst!(Op::Xori, imm_i),
+                6 => inst!(Op::Ori, imm_i),
+                7 => inst!(Op::Andi, imm_i),
+                1 => match funct6 {
+                    0x00 => inst!(Op::Slli, shamt6),
+                    0x18 => match rs2 {
+                        0 => inst!(Op::Clz),
+                        1 => inst!(Op::Ctz),
+                        2 => inst!(Op::Cpop),
+                        4 => inst!(Op::SextB),
+                        5 => inst!(Op::SextH),
+                        _ => inst!(Op::Illegal),
+                    },
+                    _ => inst!(Op::Illegal),
+                },
+                5 => match funct6 {
+                    0x00 => inst!(Op::Srli, shamt6),
+                    0x10 => inst!(Op::Srai, shamt6),
+                    0x18 => inst!(Op::Rori, shamt6),
+                    _ => {
+                        let imm12 = bits(raw, 31, 20);
+                        match imm12 {
+                            0x287 => inst!(Op::OrcB),
+                            0x6b8 => inst!(Op::Rev8),
+                            _ => inst!(Op::Illegal),
+                        }
+                    }
+                },
+                _ => inst!(Op::Illegal),
+            }
+        }
+        0x33 => {
+            let op = match (funct7, funct3) {
+                (0x00, 0) => Op::Add,
+                (0x20, 0) => Op::Sub,
+                (0x00, 1) => Op::Sll,
+                (0x00, 2) => Op::Slt,
+                (0x00, 3) => Op::Sltu,
+                (0x00, 4) => Op::Xor,
+                (0x00, 5) => Op::Srl,
+                (0x20, 5) => Op::Sra,
+                (0x00, 6) => Op::Or,
+                (0x00, 7) => Op::And,
+                (0x01, 0) => Op::Mul,
+                (0x01, 1) => Op::Mulh,
+                (0x01, 2) => Op::Mulhsu,
+                (0x01, 3) => Op::Mulhu,
+                (0x01, 4) => Op::Div,
+                (0x01, 5) => Op::Divu,
+                (0x01, 6) => Op::Rem,
+                (0x01, 7) => Op::Remu,
+                (0x20, 7) => Op::Andn,
+                (0x20, 6) => Op::Orn,
+                (0x20, 4) => Op::Xnor,
+                (0x10, 2) => Op::Sh1add,
+                (0x10, 4) => Op::Sh2add,
+                (0x10, 6) => Op::Sh3add,
+                (0x05, 4) => Op::Min,
+                (0x05, 5) => Op::Minu,
+                (0x05, 6) => Op::Max,
+                (0x05, 7) => Op::Maxu,
+                (0x30, 1) => Op::Rol,
+                (0x30, 5) => Op::Ror,
+                _ => Op::Illegal,
+            };
+            inst!(op)
+        }
+        0x1b => {
+            let shamt5 = bits(raw, 24, 20) as i64;
+            let funct6 = bits(raw, 31, 26);
+            match funct3 {
+                0 => inst!(Op::Addiw, imm_i),
+                1 => match funct6 {
+                    0x00 if funct7 == 0 => inst!(Op::Slliw, shamt5),
+                    0x02 => inst!(Op::SlliUw, bits(raw, 25, 20) as i64),
+                    0x18 if funct7 == 0x30 => match rs2 {
+                        0 => inst!(Op::Clzw),
+                        1 => inst!(Op::Ctzw),
+                        2 => inst!(Op::Cpopw),
+                        _ => inst!(Op::Illegal),
+                    },
+                    _ => inst!(Op::Illegal),
+                },
+                5 => match funct7 {
+                    0x00 => inst!(Op::Srliw, shamt5),
+                    0x20 => inst!(Op::Sraiw, shamt5),
+                    0x30 => inst!(Op::Roriw, shamt5),
+                    _ => inst!(Op::Illegal),
+                },
+                _ => inst!(Op::Illegal),
+            }
+        }
+        0x3b => {
+            let op = match (funct7, funct3) {
+                (0x00, 0) => Op::Addw,
+                (0x20, 0) => Op::Subw,
+                (0x00, 1) => Op::Sllw,
+                (0x00, 5) => Op::Srlw,
+                (0x20, 5) => Op::Sraw,
+                (0x01, 0) => Op::Mulw,
+                (0x01, 4) => Op::Divw,
+                (0x01, 5) => Op::Divuw,
+                (0x01, 6) => Op::Remw,
+                (0x01, 7) => Op::Remuw,
+                (0x04, 0) => Op::AddUw,
+                (0x10, 2) => Op::Sh1addUw,
+                (0x10, 4) => Op::Sh2addUw,
+                (0x10, 6) => Op::Sh3addUw,
+                (0x04, 4) if rs2 == 0 => Op::ZextH,
+                (0x30, 1) => Op::Rolw,
+                (0x30, 5) => Op::Rorw,
+                _ => Op::Illegal,
+            };
+            inst!(op)
+        }
+        0x0f => {
+            // fm/pred/succ bits of fences are hints; normalize the
+            // register fields so decode(encode(x)) is the identity.
+            d.rd = 0;
+            d.rs1 = 0;
+            d.rs2 = 0;
+            match funct3 {
+                0 => inst!(Op::Fence),
+                1 => inst!(Op::FenceI),
+                _ => inst!(Op::Illegal),
+            }
+        }
+        0x73 => match funct3 {
+            0 => {
+                if funct7 == 0x09 {
+                    d.rd = 0;
+                    inst!(Op::SfenceVma)
+                } else if rd != 0 || rs1 != 0 {
+                    inst!(Op::Illegal)
+                } else {
+                    match bits(raw, 31, 20) {
+                        0x000 => inst!(Op::Ecall),
+                        0x001 => inst!(Op::Ebreak),
+                        0x302 => inst!(Op::Mret),
+                        0x102 => inst!(Op::Sret),
+                        0x105 => inst!(Op::Wfi),
+                        _ => inst!(Op::Illegal),
+                    }
+                }
+            }
+            1 => inst!(Op::Csrrw, bits(raw, 31, 20) as i64),
+            2 => inst!(Op::Csrrs, bits(raw, 31, 20) as i64),
+            3 => inst!(Op::Csrrc, bits(raw, 31, 20) as i64),
+            5 => inst!(Op::Csrrwi, bits(raw, 31, 20) as i64),
+            6 => inst!(Op::Csrrsi, bits(raw, 31, 20) as i64),
+            7 => inst!(Op::Csrrci, bits(raw, 31, 20) as i64),
+            _ => inst!(Op::Illegal),
+        },
+        0x2f => {
+            let funct5 = bits(raw, 31, 27);
+            let wide = match funct3 {
+                2 => false,
+                3 => true,
+                _ => return inst!(Op::Illegal),
+            };
+            let op = match (funct5, wide) {
+                (0x02, false) => Op::LrW,
+                (0x03, false) => Op::ScW,
+                (0x01, false) => Op::AmoswapW,
+                (0x00, false) => Op::AmoaddW,
+                (0x04, false) => Op::AmoxorW,
+                (0x0c, false) => Op::AmoandW,
+                (0x08, false) => Op::AmoorW,
+                (0x10, false) => Op::AmominW,
+                (0x14, false) => Op::AmomaxW,
+                (0x18, false) => Op::AmominuW,
+                (0x1c, false) => Op::AmomaxuW,
+                (0x02, true) => Op::LrD,
+                (0x03, true) => Op::ScD,
+                (0x01, true) => Op::AmoswapD,
+                (0x00, true) => Op::AmoaddD,
+                (0x04, true) => Op::AmoxorD,
+                (0x0c, true) => Op::AmoandD,
+                (0x08, true) => Op::AmoorD,
+                (0x10, true) => Op::AmominD,
+                (0x14, true) => Op::AmomaxD,
+                (0x18, true) => Op::AmominuD,
+                (0x1c, true) => Op::AmomaxuD,
+                _ => Op::Illegal,
+            };
+            inst!(op)
+        }
+        0x07 => match funct3 {
+            2 => inst!(Op::Flw, imm_i),
+            3 => inst!(Op::Fld, imm_i),
+            _ => inst!(Op::Illegal),
+        },
+        0x27 => match funct3 {
+            2 => inst!(Op::Fsw, imm_s),
+            3 => inst!(Op::Fsd, imm_s),
+            _ => inst!(Op::Illegal),
+        },
+        0x43 | 0x47 | 0x4b | 0x4f => {
+            d.rs3 = bits(raw, 31, 27) as u8;
+            let fmt = bits(raw, 26, 25);
+            let op = match (opcode, fmt) {
+                (0x43, 0) => Op::FmaddS,
+                (0x47, 0) => Op::FmsubS,
+                (0x4b, 0) => Op::FnmsubS,
+                (0x4f, 0) => Op::FnmaddS,
+                (0x43, 1) => Op::FmaddD,
+                (0x47, 1) => Op::FmsubD,
+                (0x4b, 1) => Op::FnmsubD,
+                (0x4f, 1) => Op::FnmaddD,
+                _ => Op::Illegal,
+            };
+            inst!(op)
+        }
+        0x53 => {
+            let op = match funct7 {
+                0x00 => Op::FaddS,
+                0x01 => Op::FaddD,
+                0x04 => Op::FsubS,
+                0x05 => Op::FsubD,
+                0x08 => Op::FmulS,
+                0x09 => Op::FmulD,
+                0x0c => Op::FdivS,
+                0x0d => Op::FdivD,
+                0x2c => Op::FsqrtS,
+                0x2d => Op::FsqrtD,
+                0x10 => match funct3 {
+                    0 => Op::FsgnjS,
+                    1 => Op::FsgnjnS,
+                    2 => Op::FsgnjxS,
+                    _ => Op::Illegal,
+                },
+                0x11 => match funct3 {
+                    0 => Op::FsgnjD,
+                    1 => Op::FsgnjnD,
+                    2 => Op::FsgnjxD,
+                    _ => Op::Illegal,
+                },
+                0x14 => match funct3 {
+                    0 => Op::FminS,
+                    1 => Op::FmaxS,
+                    _ => Op::Illegal,
+                },
+                0x15 => match funct3 {
+                    0 => Op::FminD,
+                    1 => Op::FmaxD,
+                    _ => Op::Illegal,
+                },
+                0x20 => {
+                    if rs2 == 1 {
+                        Op::FcvtSD
+                    } else {
+                        Op::Illegal
+                    }
+                }
+                0x21 => {
+                    if rs2 == 0 {
+                        Op::FcvtDS
+                    } else {
+                        Op::Illegal
+                    }
+                }
+                0x50 => match funct3 {
+                    2 => Op::FeqS,
+                    1 => Op::FltS,
+                    0 => Op::FleS,
+                    _ => Op::Illegal,
+                },
+                0x51 => match funct3 {
+                    2 => Op::FeqD,
+                    1 => Op::FltD,
+                    0 => Op::FleD,
+                    _ => Op::Illegal,
+                },
+                0x60 => match rs2 {
+                    0 => Op::FcvtWS,
+                    1 => Op::FcvtWuS,
+                    2 => Op::FcvtLS,
+                    3 => Op::FcvtLuS,
+                    _ => Op::Illegal,
+                },
+                0x61 => match rs2 {
+                    0 => Op::FcvtWD,
+                    1 => Op::FcvtWuD,
+                    2 => Op::FcvtLD,
+                    3 => Op::FcvtLuD,
+                    _ => Op::Illegal,
+                },
+                0x68 => match rs2 {
+                    0 => Op::FcvtSW,
+                    1 => Op::FcvtSWu,
+                    2 => Op::FcvtSL,
+                    3 => Op::FcvtSLu,
+                    _ => Op::Illegal,
+                },
+                0x69 => match rs2 {
+                    0 => Op::FcvtDW,
+                    1 => Op::FcvtDWu,
+                    2 => Op::FcvtDL,
+                    3 => Op::FcvtDLu,
+                    _ => Op::Illegal,
+                },
+                0x70 => match funct3 {
+                    0 if rs2 == 0 => Op::FmvXW,
+                    1 if rs2 == 0 => Op::FclassS,
+                    _ => Op::Illegal,
+                },
+                0x71 => match funct3 {
+                    0 if rs2 == 0 => Op::FmvXD,
+                    1 if rs2 == 0 => Op::FclassD,
+                    _ => Op::Illegal,
+                },
+                0x78 if funct3 == 0 && rs2 == 0 => Op::FmvWX,
+                0x79 if funct3 == 0 && rs2 == 0 => Op::FmvDX,
+                _ => Op::Illegal,
+            };
+            inst!(op)
+        }
+        _ => inst!(Op::Illegal),
+    }
+}
+
+/// Decode a 16-bit compressed (RVC) instruction into its expanded form.
+///
+/// The result has `len == 2` but carries the same [`Op`] as the equivalent
+/// 32-bit instruction.
+pub fn decode16(raw16: u16) -> DecodedInst {
+    let raw = raw16 as u32;
+    let quadrant = raw & 0b11;
+    let funct3 = (raw >> 13) & 0b111;
+
+    let mut d = DecodedInst {
+        len: 2,
+        raw,
+        ..Default::default()
+    };
+
+    // 3-bit register fields map to x8..x15.
+    let r1c = (bits(raw, 9, 7) + 8) as u8;
+    let r2c = (bits(raw, 4, 2) + 8) as u8;
+    let rd_full = bits(raw, 11, 7) as u8;
+    let rs2_full = bits(raw, 6, 2) as u8;
+
+    macro_rules! done {
+        ($op:expr, $rd:expr, $rs1:expr, $rs2:expr, $imm:expr) => {{
+            d.op = $op;
+            d.rd = $rd;
+            d.rs1 = $rs1;
+            d.rs2 = $rs2;
+            d.imm = $imm;
+            d
+        }};
+    }
+
+    match (quadrant, funct3) {
+        (0b00, 0b000) => {
+            // c.addi4spn: addi rd', x2, nzuimm
+            let imm = (bits(raw, 10, 7) << 6)
+                | (bits(raw, 12, 11) << 4)
+                | (bit(raw, 5) << 3)
+                | (bit(raw, 6) << 2);
+            if imm == 0 {
+                return d; // reserved
+            }
+            done!(Op::Addi, r2c, 2, 0, imm as i64)
+        }
+        (0b00, 0b001) => {
+            // c.fld
+            let imm = (bits(raw, 6, 5) << 6) | (bits(raw, 12, 10) << 3);
+            done!(Op::Fld, r2c, r1c, 0, imm as i64)
+        }
+        (0b00, 0b010) => {
+            // c.lw
+            let imm = (bit(raw, 5) << 6) | (bits(raw, 12, 10) << 3) | (bit(raw, 6) << 2);
+            done!(Op::Lw, r2c, r1c, 0, imm as i64)
+        }
+        (0b00, 0b011) => {
+            // c.ld
+            let imm = (bits(raw, 6, 5) << 6) | (bits(raw, 12, 10) << 3);
+            done!(Op::Ld, r2c, r1c, 0, imm as i64)
+        }
+        (0b00, 0b101) => {
+            // c.fsd
+            let imm = (bits(raw, 6, 5) << 6) | (bits(raw, 12, 10) << 3);
+            done!(Op::Fsd, 0, r1c, r2c, imm as i64)
+        }
+        (0b00, 0b110) => {
+            // c.sw
+            let imm = (bit(raw, 5) << 6) | (bits(raw, 12, 10) << 3) | (bit(raw, 6) << 2);
+            done!(Op::Sw, 0, r1c, r2c, imm as i64)
+        }
+        (0b00, 0b111) => {
+            // c.sd
+            let imm = (bits(raw, 6, 5) << 6) | (bits(raw, 12, 10) << 3);
+            done!(Op::Sd, 0, r1c, r2c, imm as i64)
+        }
+        (0b01, 0b000) => {
+            // c.addi (c.nop when rd == 0)
+            let imm = sext((bit(raw, 12) << 5) | bits(raw, 6, 2), 6);
+            done!(Op::Addi, rd_full, rd_full, 0, imm)
+        }
+        (0b01, 0b001) => {
+            // c.addiw (reserved when rd == 0)
+            if rd_full == 0 {
+                return d;
+            }
+            let imm = sext((bit(raw, 12) << 5) | bits(raw, 6, 2), 6);
+            done!(Op::Addiw, rd_full, rd_full, 0, imm)
+        }
+        (0b01, 0b010) => {
+            // c.li
+            let imm = sext((bit(raw, 12) << 5) | bits(raw, 6, 2), 6);
+            done!(Op::Addi, rd_full, 0, 0, imm)
+        }
+        (0b01, 0b011) => {
+            if rd_full == 2 {
+                // c.addi16sp
+                let imm = sext(
+                    (bit(raw, 12) << 9)
+                        | (bits(raw, 4, 3) << 7)
+                        | (bit(raw, 5) << 6)
+                        | (bit(raw, 2) << 5)
+                        | (bit(raw, 6) << 4),
+                    10,
+                );
+                if imm == 0 {
+                    return d;
+                }
+                done!(Op::Addi, 2, 2, 0, imm)
+            } else {
+                // c.lui (reserved when rd == 0 or imm == 0)
+                let imm = sext((bit(raw, 12) << 17) | (bits(raw, 6, 2) << 12), 18);
+                if imm == 0 || rd_full == 0 {
+                    return d;
+                }
+                done!(Op::Lui, rd_full, 0, 0, imm)
+            }
+        }
+        (0b01, 0b100) => {
+            let funct2 = bits(raw, 11, 10);
+            match funct2 {
+                0b00 => {
+                    let shamt = (bit(raw, 12) << 5) | bits(raw, 6, 2);
+                    done!(Op::Srli, r1c, r1c, 0, shamt as i64)
+                }
+                0b01 => {
+                    let shamt = (bit(raw, 12) << 5) | bits(raw, 6, 2);
+                    done!(Op::Srai, r1c, r1c, 0, shamt as i64)
+                }
+                0b10 => {
+                    let imm = sext((bit(raw, 12) << 5) | bits(raw, 6, 2), 6);
+                    done!(Op::Andi, r1c, r1c, 0, imm)
+                }
+                _ => {
+                    let op = match (bit(raw, 12), bits(raw, 6, 5)) {
+                        (0, 0b00) => Op::Sub,
+                        (0, 0b01) => Op::Xor,
+                        (0, 0b10) => Op::Or,
+                        (0, 0b11) => Op::And,
+                        (1, 0b00) => Op::Subw,
+                        (1, 0b01) => Op::Addw,
+                        _ => return d,
+                    };
+                    done!(op, r1c, r1c, r2c, 0)
+                }
+            }
+        }
+        (0b01, 0b101) => {
+            // c.j
+            let imm = sext(
+                (bit(raw, 12) << 11)
+                    | (bit(raw, 8) << 10)
+                    | (bits(raw, 10, 9) << 8)
+                    | (bit(raw, 6) << 7)
+                    | (bit(raw, 7) << 6)
+                    | (bit(raw, 2) << 5)
+                    | (bit(raw, 11) << 4)
+                    | (bits(raw, 5, 3) << 1),
+                12,
+            );
+            done!(Op::Jal, 0, 0, 0, imm)
+        }
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // c.beqz / c.bnez
+            let imm = sext(
+                (bit(raw, 12) << 8)
+                    | (bits(raw, 6, 5) << 6)
+                    | (bit(raw, 2) << 5)
+                    | (bits(raw, 11, 10) << 3)
+                    | (bits(raw, 4, 3) << 1),
+                9,
+            );
+            let op = if funct3 == 0b110 { Op::Beq } else { Op::Bne };
+            done!(op, 0, r1c, 0, imm)
+        }
+        (0b10, 0b000) => {
+            // c.slli
+            let shamt = (bit(raw, 12) << 5) | bits(raw, 6, 2);
+            done!(Op::Slli, rd_full, rd_full, 0, shamt as i64)
+        }
+        (0b10, 0b001) => {
+            // c.fldsp
+            let imm = (bits(raw, 4, 2) << 6) | (bit(raw, 12) << 5) | (bits(raw, 6, 5) << 3);
+            done!(Op::Fld, rd_full, 2, 0, imm as i64)
+        }
+        (0b10, 0b010) => {
+            // c.lwsp (reserved when rd == 0)
+            if rd_full == 0 {
+                return d;
+            }
+            let imm = (bits(raw, 3, 2) << 6) | (bit(raw, 12) << 5) | (bits(raw, 6, 4) << 2);
+            done!(Op::Lw, rd_full, 2, 0, imm as i64)
+        }
+        (0b10, 0b011) => {
+            // c.ldsp (reserved when rd == 0)
+            if rd_full == 0 {
+                return d;
+            }
+            let imm = (bits(raw, 4, 2) << 6) | (bit(raw, 12) << 5) | (bits(raw, 6, 5) << 3);
+            done!(Op::Ld, rd_full, 2, 0, imm as i64)
+        }
+        (0b10, 0b100) => {
+            if bit(raw, 12) == 0 {
+                if rs2_full == 0 {
+                    if rd_full == 0 {
+                        return d;
+                    }
+                    done!(Op::Jalr, 0, rd_full, 0, 0) // c.jr
+                } else {
+                    done!(Op::Add, rd_full, 0, rs2_full, 0) // c.mv
+                }
+            } else if rs2_full == 0 {
+                if rd_full == 0 {
+                    done!(Op::Ebreak, 0, 0, 0, 0)
+                } else {
+                    done!(Op::Jalr, 1, rd_full, 0, 0) // c.jalr
+                }
+            } else {
+                done!(Op::Add, rd_full, rd_full, rs2_full, 0) // c.add
+            }
+        }
+        (0b10, 0b101) => {
+            // c.fsdsp
+            let imm = (bits(raw, 9, 7) << 6) | (bits(raw, 12, 10) << 3);
+            done!(Op::Fsd, 0, 2, rs2_full, imm as i64)
+        }
+        (0b10, 0b110) => {
+            // c.swsp
+            let imm = (bits(raw, 8, 7) << 6) | (bits(raw, 12, 9) << 2);
+            done!(Op::Sw, 0, 2, rs2_full, imm as i64)
+        }
+        (0b10, 0b111) => {
+            // c.sdsp
+            let imm = (bits(raw, 9, 7) << 6) | (bits(raw, 12, 10) << 3);
+            done!(Op::Sd, 0, 2, rs2_full, imm as i64)
+        }
+        _ => d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_basic_arith() {
+        // addi x5, x0, 42
+        let d = decode32(0x02a0_0293);
+        assert_eq!((d.op, d.rd, d.rs1, d.imm), (Op::Addi, 5, 0, 42));
+        // add x3, x1, x2
+        let d = decode32(0x0020_81b3);
+        assert_eq!((d.op, d.rd, d.rs1, d.rs2), (Op::Add, 3, 1, 2));
+        // sub x3, x1, x2
+        let d = decode32(0x4020_81b3);
+        assert_eq!(d.op, Op::Sub);
+    }
+
+    #[test]
+    fn decode_negative_imm() {
+        // addi x1, x1, -1
+        let d = decode32(0xfff0_8093);
+        assert_eq!(d.imm, -1);
+        // lui x1, 0xfffff
+        let d = decode32(0xffff_f0b7);
+        assert_eq!(d.imm, -4096);
+    }
+
+    #[test]
+    fn decode_branches_and_jumps() {
+        // beq x1, x2, +8
+        let d = decode32(0x0020_8463);
+        assert_eq!((d.op, d.imm), (Op::Beq, 8));
+        // jal x1, -16
+        let d = decode32(0xff1f_f0ef);
+        assert_eq!((d.op, d.rd, d.imm), (Op::Jal, 1, -16));
+        // jalr x0, 0(x1)
+        let d = decode32(0x0000_8067);
+        assert_eq!((d.op, d.rd, d.rs1), (Op::Jalr, 0, 1));
+    }
+
+    #[test]
+    fn decode_loads_stores() {
+        // ld x6, 16(x2)
+        let d = decode32(0x0101_3303);
+        assert_eq!((d.op, d.rd, d.rs1, d.imm), (Op::Ld, 6, 2, 16));
+        // sd x6, -8(x2)
+        let d = decode32(0xfe61_3c23);
+        assert_eq!((d.op, d.rs1, d.rs2, d.imm), (Op::Sd, 2, 6, -8));
+    }
+
+    #[test]
+    fn decode_system() {
+        assert_eq!(decode32(0x0000_0073).op, Op::Ecall);
+        assert_eq!(decode32(0x0010_0073).op, Op::Ebreak);
+        assert_eq!(decode32(0x3020_0073).op, Op::Mret);
+        assert_eq!(decode32(0x1020_0073).op, Op::Sret);
+        assert_eq!(decode32(0x1050_0073).op, Op::Wfi);
+        // sfence.vma x0, x0
+        assert_eq!(decode32(0x1200_0073).op, Op::SfenceVma);
+        // csrrw x1, mscratch, x2
+        let d = decode32(0x3401_10f3);
+        assert_eq!((d.op, d.csr(), d.rd, d.rs1), (Op::Csrrw, 0x340, 1, 2));
+    }
+
+    #[test]
+    fn decode_amo() {
+        // lr.d x5, (x10)
+        let d = decode32(0x1005_32af);
+        assert_eq!((d.op, d.rd, d.rs1), (Op::LrD, 5, 10));
+        // sc.d x6, x5, (x10)
+        let d = decode32(0x1855_332f);
+        assert_eq!((d.op, d.rd, d.rs1, d.rs2), (Op::ScD, 6, 10, 5));
+        // amoadd.w x7, x5, (x10)
+        let d = decode32(0x0055_23af);
+        assert_eq!((d.op, d.rd, d.rs1, d.rs2), (Op::AmoaddW, 7, 10, 5));
+    }
+
+    #[test]
+    fn decode_fp() {
+        // fadd.d f3, f1, f2 (rm=dyn)
+        let d = decode32(0x0220_f1d3);
+        assert_eq!((d.op, d.rd, d.rs1, d.rs2, d.rm), (Op::FaddD, 3, 1, 2, 7));
+        // fmadd.d f3, f1, f2, f4
+        let d = decode32(0x2220_f1c3);
+        assert_eq!((d.op, d.rs3), (Op::FmaddD, 4));
+        // fcvt.d.w f1, x2
+        let d = decode32(0xd201_00d3);
+        assert_eq!(d.op, Op::FcvtDW);
+        // fmv.x.d x1, f2
+        let d = decode32(0xe201_00d3);
+        assert_eq!(d.op, Op::FmvXD);
+    }
+
+    #[test]
+    fn decode_zba_zbb() {
+        // sh1add x3, x1, x2
+        let d = decode32(0x2020_a1b3);
+        assert_eq!(d.op, Op::Sh1add);
+        // andn x3, x1, x2
+        let d = decode32(0x4020_f1b3);
+        assert_eq!(d.op, Op::Andn);
+        // clz x3, x1
+        let d = decode32(0x6000_9193);
+        assert_eq!(d.op, Op::Clz);
+        // cpop x3, x1
+        let d = decode32(0x6020_9193);
+        assert_eq!(d.op, Op::Cpop);
+        // rev8 x3, x1
+        let d = decode32(0x6b80_d193);
+        assert_eq!(d.op, Op::Rev8);
+        // orc.b x3, x1
+        let d = decode32(0x2870_d193);
+        assert_eq!(d.op, Op::OrcB);
+    }
+
+    #[test]
+    fn decode_compressed() {
+        // c.li a0, 1 => 0x4505
+        let d = decode16(0x4505);
+        assert_eq!((d.op, d.rd, d.rs1, d.imm, d.len), (Op::Addi, 10, 0, 1, 2));
+        // c.mv a0, a1 => 0x852e
+        let d = decode16(0x852e);
+        assert_eq!((d.op, d.rd, d.rs1, d.rs2), (Op::Add, 10, 0, 11));
+        // c.add a0, a1 => 0x952e
+        let d = decode16(0x952e);
+        assert_eq!((d.op, d.rd, d.rs1, d.rs2), (Op::Add, 10, 10, 11));
+        // c.addi sp, -32 => 0x1101
+        let d = decode16(0x1101);
+        assert_eq!((d.op, d.rd, d.imm), (Op::Addi, 2, -32));
+        // c.jr ra => 0x8082
+        let d = decode16(0x8082);
+        assert_eq!((d.op, d.rd, d.rs1), (Op::Jalr, 0, 1));
+        // c.ebreak => 0x9002
+        assert_eq!(decode16(0x9002).op, Op::Ebreak);
+        // c.ld a1, 0(a0) => 0x610c: funct3=011, uimm=0, rs1'=a0(2), rd'=a1(3)
+        let d = decode16(0x610c);
+        assert_eq!((d.op, d.rd, d.rs1, d.imm), (Op::Ld, 11, 10, 0));
+        // c.sd a1, 8(a0) => 0xe50c
+        let d = decode16(0xe50c);
+        assert_eq!((d.op, d.rs1, d.rs2, d.imm), (Op::Sd, 10, 11, 8));
+    }
+
+    #[test]
+    fn decode_compressed_branches() {
+        // c.beqz a0, +6 (imm=6): 0xc319? compute: funct3=110 quad=01, rs1'=a0 -> bits.
+        // Instead verify via round structure: c.j +0 is 0xa001.
+        let d = decode16(0xa001);
+        assert_eq!((d.op, d.rd, d.imm), (Op::Jal, 0, 0));
+        // c.bnez a0, 0 => funct3=111 rs1'=010 -> 0xe101
+        let d = decode16(0xe101);
+        assert_eq!((d.op, d.rs1, d.imm), (Op::Bne, 10, 0));
+    }
+
+    #[test]
+    fn dispatcher_selects_width() {
+        assert_eq!(decode(0x0000_4501).len, 2);
+        assert_eq!(decode(0x02a0_0293).len, 4);
+    }
+
+    #[test]
+    fn illegal_encodings() {
+        assert_eq!(decode32(0x0000_0000).op, Op::Illegal);
+        assert_eq!(decode32(0xffff_ffff).op, Op::Illegal);
+        assert_eq!(decode16(0x0000).op, Op::Illegal);
+    }
+}

@@ -1,0 +1,433 @@
+//! Instruction encoding (32-bit forms only).
+//!
+//! [`encode`] is the inverse of [`crate::decode::decode32`] for every
+//! supported operation; the assembler in [`crate::asm`] is built on top of
+//! it. Compressed encodings are decode-only in this crate — the workload
+//! suite always emits 4-byte forms, while the decoder accepts both.
+
+use crate::op::{DecodedInst, Op};
+
+#[inline]
+fn r_type(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8) -> u32 {
+    (funct7 << 25) | ((rs2 as u32) << 20) | ((rs1 as u32) << 15) | (funct3 << 12) | ((rd as u32) << 7)
+}
+
+#[inline]
+fn i_type(imm: i64, rs1: u8, funct3: u32, rd: u8) -> u32 {
+    (((imm as u32) & 0xfff) << 20) | ((rs1 as u32) << 15) | (funct3 << 12) | ((rd as u32) << 7)
+}
+
+#[inline]
+fn s_type(imm: i64, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+}
+
+#[inline]
+fn b_type(imm: i64, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xf) << 8)
+        | ((imm >> 11 & 1) << 7)
+}
+
+#[inline]
+fn u_type(imm: i64, rd: u8) -> u32 {
+    ((imm as u32) & 0xffff_f000) | ((rd as u32) << 7)
+}
+
+#[inline]
+fn j_type(imm: i64, rd: u8) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3ff) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xff) << 12)
+        | ((rd as u32) << 7)
+}
+
+/// Encode a decoded instruction back into its 32-bit form.
+///
+/// Returns `None` for [`Op::Illegal`]. The `rm` field is honored for
+/// floating-point operations; everything else re-derives funct3 from the
+/// operation itself.
+///
+/// ```
+/// use riscv_isa::{decode32, encode::encode, op::{DecodedInst, Op}};
+/// let inst = DecodedInst { op: Op::Add, rd: 3, rs1: 1, rs2: 2, ..Default::default() };
+/// let raw = encode(&inst).expect("encodable");
+/// assert_eq!(decode32(raw).op, Op::Add);
+/// ```
+pub fn encode(d: &DecodedInst) -> Option<u32> {
+    use Op::*;
+    let (rd, rs1, rs2, rs3, imm) = (d.rd, d.rs1, d.rs2, d.rs3, d.imm);
+    let rm = (d.rm & 0x7) as u32;
+
+    let raw = match d.op {
+        Lui => u_type(imm, rd) | 0x37,
+        Auipc => u_type(imm, rd) | 0x17,
+        Jal => j_type(imm, rd) | 0x6f,
+        Jalr => i_type(imm, rs1, 0, rd) | 0x67,
+        Beq => b_type(imm, rs2, rs1, 0) | 0x63,
+        Bne => b_type(imm, rs2, rs1, 1) | 0x63,
+        Blt => b_type(imm, rs2, rs1, 4) | 0x63,
+        Bge => b_type(imm, rs2, rs1, 5) | 0x63,
+        Bltu => b_type(imm, rs2, rs1, 6) | 0x63,
+        Bgeu => b_type(imm, rs2, rs1, 7) | 0x63,
+        Lb => i_type(imm, rs1, 0, rd) | 0x03,
+        Lh => i_type(imm, rs1, 1, rd) | 0x03,
+        Lw => i_type(imm, rs1, 2, rd) | 0x03,
+        Ld => i_type(imm, rs1, 3, rd) | 0x03,
+        Lbu => i_type(imm, rs1, 4, rd) | 0x03,
+        Lhu => i_type(imm, rs1, 5, rd) | 0x03,
+        Lwu => i_type(imm, rs1, 6, rd) | 0x03,
+        Sb => s_type(imm, rs2, rs1, 0) | 0x23,
+        Sh => s_type(imm, rs2, rs1, 1) | 0x23,
+        Sw => s_type(imm, rs2, rs1, 2) | 0x23,
+        Sd => s_type(imm, rs2, rs1, 3) | 0x23,
+        Addi => i_type(imm, rs1, 0, rd) | 0x13,
+        Slti => i_type(imm, rs1, 2, rd) | 0x13,
+        Sltiu => i_type(imm, rs1, 3, rd) | 0x13,
+        Xori => i_type(imm, rs1, 4, rd) | 0x13,
+        Ori => i_type(imm, rs1, 6, rd) | 0x13,
+        Andi => i_type(imm, rs1, 7, rd) | 0x13,
+        Slli => i_type(imm & 0x3f, rs1, 1, rd) | 0x13,
+        Srli => i_type(imm & 0x3f, rs1, 5, rd) | 0x13,
+        Srai => i_type((imm & 0x3f) | 0x400, rs1, 5, rd) | 0x13,
+        Add => r_type(0x00, rs2, rs1, 0, rd) | 0x33,
+        Sub => r_type(0x20, rs2, rs1, 0, rd) | 0x33,
+        Sll => r_type(0x00, rs2, rs1, 1, rd) | 0x33,
+        Slt => r_type(0x00, rs2, rs1, 2, rd) | 0x33,
+        Sltu => r_type(0x00, rs2, rs1, 3, rd) | 0x33,
+        Xor => r_type(0x00, rs2, rs1, 4, rd) | 0x33,
+        Srl => r_type(0x00, rs2, rs1, 5, rd) | 0x33,
+        Sra => r_type(0x20, rs2, rs1, 5, rd) | 0x33,
+        Or => r_type(0x00, rs2, rs1, 6, rd) | 0x33,
+        And => r_type(0x00, rs2, rs1, 7, rd) | 0x33,
+        Addiw => i_type(imm, rs1, 0, rd) | 0x1b,
+        Slliw => i_type(imm & 0x1f, rs1, 1, rd) | 0x1b,
+        Srliw => i_type(imm & 0x1f, rs1, 5, rd) | 0x1b,
+        Sraiw => i_type((imm & 0x1f) | 0x400, rs1, 5, rd) | 0x1b,
+        Addw => r_type(0x00, rs2, rs1, 0, rd) | 0x3b,
+        Subw => r_type(0x20, rs2, rs1, 0, rd) | 0x3b,
+        Sllw => r_type(0x00, rs2, rs1, 1, rd) | 0x3b,
+        Srlw => r_type(0x00, rs2, rs1, 5, rd) | 0x3b,
+        Sraw => r_type(0x20, rs2, rs1, 5, rd) | 0x3b,
+        Fence => i_type(0, 0, 0, 0) | 0x0f,
+        FenceI => i_type(0, 0, 1, 0) | 0x0f,
+        Ecall => 0x0000_0073,
+        Ebreak => 0x0010_0073,
+        Csrrw => i_type(imm, rs1, 1, rd) | 0x73,
+        Csrrs => i_type(imm, rs1, 2, rd) | 0x73,
+        Csrrc => i_type(imm, rs1, 3, rd) | 0x73,
+        Csrrwi => i_type(imm, rs1, 5, rd) | 0x73,
+        Csrrsi => i_type(imm, rs1, 6, rd) | 0x73,
+        Csrrci => i_type(imm, rs1, 7, rd) | 0x73,
+        Mul => r_type(0x01, rs2, rs1, 0, rd) | 0x33,
+        Mulh => r_type(0x01, rs2, rs1, 1, rd) | 0x33,
+        Mulhsu => r_type(0x01, rs2, rs1, 2, rd) | 0x33,
+        Mulhu => r_type(0x01, rs2, rs1, 3, rd) | 0x33,
+        Div => r_type(0x01, rs2, rs1, 4, rd) | 0x33,
+        Divu => r_type(0x01, rs2, rs1, 5, rd) | 0x33,
+        Rem => r_type(0x01, rs2, rs1, 6, rd) | 0x33,
+        Remu => r_type(0x01, rs2, rs1, 7, rd) | 0x33,
+        Mulw => r_type(0x01, rs2, rs1, 0, rd) | 0x3b,
+        Divw => r_type(0x01, rs2, rs1, 4, rd) | 0x3b,
+        Divuw => r_type(0x01, rs2, rs1, 5, rd) | 0x3b,
+        Remw => r_type(0x01, rs2, rs1, 6, rd) | 0x3b,
+        Remuw => r_type(0x01, rs2, rs1, 7, rd) | 0x3b,
+        LrW => amo(0x02, 0, rs1, 2, rd),
+        ScW => amo(0x03, rs2, rs1, 2, rd),
+        AmoswapW => amo(0x01, rs2, rs1, 2, rd),
+        AmoaddW => amo(0x00, rs2, rs1, 2, rd),
+        AmoxorW => amo(0x04, rs2, rs1, 2, rd),
+        AmoandW => amo(0x0c, rs2, rs1, 2, rd),
+        AmoorW => amo(0x08, rs2, rs1, 2, rd),
+        AmominW => amo(0x10, rs2, rs1, 2, rd),
+        AmomaxW => amo(0x14, rs2, rs1, 2, rd),
+        AmominuW => amo(0x18, rs2, rs1, 2, rd),
+        AmomaxuW => amo(0x1c, rs2, rs1, 2, rd),
+        LrD => amo(0x02, 0, rs1, 3, rd),
+        ScD => amo(0x03, rs2, rs1, 3, rd),
+        AmoswapD => amo(0x01, rs2, rs1, 3, rd),
+        AmoaddD => amo(0x00, rs2, rs1, 3, rd),
+        AmoxorD => amo(0x04, rs2, rs1, 3, rd),
+        AmoandD => amo(0x0c, rs2, rs1, 3, rd),
+        AmoorD => amo(0x08, rs2, rs1, 3, rd),
+        AmominD => amo(0x10, rs2, rs1, 3, rd),
+        AmomaxD => amo(0x14, rs2, rs1, 3, rd),
+        AmominuD => amo(0x18, rs2, rs1, 3, rd),
+        AmomaxuD => amo(0x1c, rs2, rs1, 3, rd),
+        Flw => i_type(imm, rs1, 2, rd) | 0x07,
+        Fld => i_type(imm, rs1, 3, rd) | 0x07,
+        Fsw => s_type(imm, rs2, rs1, 2) | 0x27,
+        Fsd => s_type(imm, rs2, rs1, 3) | 0x27,
+        FmaddS => fma(0x43, 0, rs3, rs2, rs1, rm, rd),
+        FmsubS => fma(0x47, 0, rs3, rs2, rs1, rm, rd),
+        FnmsubS => fma(0x4b, 0, rs3, rs2, rs1, rm, rd),
+        FnmaddS => fma(0x4f, 0, rs3, rs2, rs1, rm, rd),
+        FmaddD => fma(0x43, 1, rs3, rs2, rs1, rm, rd),
+        FmsubD => fma(0x47, 1, rs3, rs2, rs1, rm, rd),
+        FnmsubD => fma(0x4b, 1, rs3, rs2, rs1, rm, rd),
+        FnmaddD => fma(0x4f, 1, rs3, rs2, rs1, rm, rd),
+        FaddS => r_type(0x00, rs2, rs1, rm, rd) | 0x53,
+        FsubS => r_type(0x04, rs2, rs1, rm, rd) | 0x53,
+        FmulS => r_type(0x08, rs2, rs1, rm, rd) | 0x53,
+        FdivS => r_type(0x0c, rs2, rs1, rm, rd) | 0x53,
+        FsqrtS => r_type(0x2c, 0, rs1, rm, rd) | 0x53,
+        FaddD => r_type(0x01, rs2, rs1, rm, rd) | 0x53,
+        FsubD => r_type(0x05, rs2, rs1, rm, rd) | 0x53,
+        FmulD => r_type(0x09, rs2, rs1, rm, rd) | 0x53,
+        FdivD => r_type(0x0d, rs2, rs1, rm, rd) | 0x53,
+        FsqrtD => r_type(0x2d, 0, rs1, rm, rd) | 0x53,
+        FsgnjS => r_type(0x10, rs2, rs1, 0, rd) | 0x53,
+        FsgnjnS => r_type(0x10, rs2, rs1, 1, rd) | 0x53,
+        FsgnjxS => r_type(0x10, rs2, rs1, 2, rd) | 0x53,
+        FsgnjD => r_type(0x11, rs2, rs1, 0, rd) | 0x53,
+        FsgnjnD => r_type(0x11, rs2, rs1, 1, rd) | 0x53,
+        FsgnjxD => r_type(0x11, rs2, rs1, 2, rd) | 0x53,
+        FminS => r_type(0x14, rs2, rs1, 0, rd) | 0x53,
+        FmaxS => r_type(0x14, rs2, rs1, 1, rd) | 0x53,
+        FminD => r_type(0x15, rs2, rs1, 0, rd) | 0x53,
+        FmaxD => r_type(0x15, rs2, rs1, 1, rd) | 0x53,
+        FcvtSD => r_type(0x20, 1, rs1, rm, rd) | 0x53,
+        FcvtDS => r_type(0x21, 0, rs1, rm, rd) | 0x53,
+        FeqS => r_type(0x50, rs2, rs1, 2, rd) | 0x53,
+        FltS => r_type(0x50, rs2, rs1, 1, rd) | 0x53,
+        FleS => r_type(0x50, rs2, rs1, 0, rd) | 0x53,
+        FeqD => r_type(0x51, rs2, rs1, 2, rd) | 0x53,
+        FltD => r_type(0x51, rs2, rs1, 1, rd) | 0x53,
+        FleD => r_type(0x51, rs2, rs1, 0, rd) | 0x53,
+        FcvtWS => r_type(0x60, 0, rs1, rm, rd) | 0x53,
+        FcvtWuS => r_type(0x60, 1, rs1, rm, rd) | 0x53,
+        FcvtLS => r_type(0x60, 2, rs1, rm, rd) | 0x53,
+        FcvtLuS => r_type(0x60, 3, rs1, rm, rd) | 0x53,
+        FcvtWD => r_type(0x61, 0, rs1, rm, rd) | 0x53,
+        FcvtWuD => r_type(0x61, 1, rs1, rm, rd) | 0x53,
+        FcvtLD => r_type(0x61, 2, rs1, rm, rd) | 0x53,
+        FcvtLuD => r_type(0x61, 3, rs1, rm, rd) | 0x53,
+        FcvtSW => r_type(0x68, 0, rs1, rm, rd) | 0x53,
+        FcvtSWu => r_type(0x68, 1, rs1, rm, rd) | 0x53,
+        FcvtSL => r_type(0x68, 2, rs1, rm, rd) | 0x53,
+        FcvtSLu => r_type(0x68, 3, rs1, rm, rd) | 0x53,
+        FcvtDW => r_type(0x69, 0, rs1, rm, rd) | 0x53,
+        FcvtDWu => r_type(0x69, 1, rs1, rm, rd) | 0x53,
+        FcvtDL => r_type(0x69, 2, rs1, rm, rd) | 0x53,
+        FcvtDLu => r_type(0x69, 3, rs1, rm, rd) | 0x53,
+        FmvXW => r_type(0x70, 0, rs1, 0, rd) | 0x53,
+        FclassS => r_type(0x70, 0, rs1, 1, rd) | 0x53,
+        FmvXD => r_type(0x71, 0, rs1, 0, rd) | 0x53,
+        FclassD => r_type(0x71, 0, rs1, 1, rd) | 0x53,
+        FmvWX => r_type(0x78, 0, rs1, 0, rd) | 0x53,
+        FmvDX => r_type(0x79, 0, rs1, 0, rd) | 0x53,
+        Mret => 0x3020_0073,
+        Sret => 0x1020_0073,
+        Wfi => 0x1050_0073,
+        SfenceVma => r_type(0x09, rs2, rs1, 0, 0) | 0x73,
+        Sh1add => r_type(0x10, rs2, rs1, 2, rd) | 0x33,
+        Sh2add => r_type(0x10, rs2, rs1, 4, rd) | 0x33,
+        Sh3add => r_type(0x10, rs2, rs1, 6, rd) | 0x33,
+        AddUw => r_type(0x04, rs2, rs1, 0, rd) | 0x3b,
+        Sh1addUw => r_type(0x10, rs2, rs1, 2, rd) | 0x3b,
+        Sh2addUw => r_type(0x10, rs2, rs1, 4, rd) | 0x3b,
+        Sh3addUw => r_type(0x10, rs2, rs1, 6, rd) | 0x3b,
+        SlliUw => i_type((imm & 0x3f) | 0x080, rs1, 1, rd) | 0x1b,
+        Andn => r_type(0x20, rs2, rs1, 7, rd) | 0x33,
+        Orn => r_type(0x20, rs2, rs1, 6, rd) | 0x33,
+        Xnor => r_type(0x20, rs2, rs1, 4, rd) | 0x33,
+        Clz => i_type(0x600, rs1, 1, rd) | 0x13,
+        Ctz => i_type(0x601, rs1, 1, rd) | 0x13,
+        Cpop => i_type(0x602, rs1, 1, rd) | 0x13,
+        Clzw => i_type(0x600, rs1, 1, rd) | 0x1b,
+        Ctzw => i_type(0x601, rs1, 1, rd) | 0x1b,
+        Cpopw => i_type(0x602, rs1, 1, rd) | 0x1b,
+        Max => r_type(0x05, rs2, rs1, 6, rd) | 0x33,
+        Min => r_type(0x05, rs2, rs1, 4, rd) | 0x33,
+        Maxu => r_type(0x05, rs2, rs1, 7, rd) | 0x33,
+        Minu => r_type(0x05, rs2, rs1, 5, rd) | 0x33,
+        SextB => i_type(0x604, rs1, 1, rd) | 0x13,
+        SextH => i_type(0x605, rs1, 1, rd) | 0x13,
+        ZextH => r_type(0x04, 0, rs1, 4, rd) | 0x3b,
+        Rol => r_type(0x30, rs2, rs1, 1, rd) | 0x33,
+        Ror => r_type(0x30, rs2, rs1, 5, rd) | 0x33,
+        Rori => i_type((imm & 0x3f) | 0x600, rs1, 5, rd) | 0x13,
+        Rolw => r_type(0x30, rs2, rs1, 1, rd) | 0x3b,
+        Rorw => r_type(0x30, rs2, rs1, 5, rd) | 0x3b,
+        Roriw => i_type((imm & 0x1f) | 0x600, rs1, 5, rd) | 0x1b,
+        OrcB => i_type(0x287, rs1, 5, rd) | 0x13,
+        Rev8 => i_type(0x6b8, rs1, 5, rd) | 0x13,
+        Illegal => return None,
+    };
+    Some(raw)
+}
+
+#[inline]
+fn amo(funct5: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8) -> u32 {
+    // aq/rl bits are left clear; the decoder ignores them.
+    (funct5 << 27)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | 0x2f
+}
+
+#[inline]
+fn fma(opcode: u32, fmt: u32, rs3: u8, rs2: u8, rs1: u8, rm: u32, rd: u8) -> u32 {
+    ((rs3 as u32) << 27)
+        | (fmt << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (rm << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode32;
+
+    fn roundtrip(d: DecodedInst) {
+        let raw = encode(&d).unwrap_or_else(|| panic!("{:?} must encode", d.op));
+        let back = decode32(raw);
+        assert_eq!(back.op, d.op, "op mismatch for {raw:#010x}");
+        assert_eq!(back.rd, d.rd, "rd mismatch for {:?}", d.op);
+        assert_eq!(back.rs1, d.rs1, "rs1 mismatch for {:?}", d.op);
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        for op in [
+            Op::Add,
+            Op::Sub,
+            Op::Xor,
+            Op::Sll,
+            Op::Sra,
+            Op::Mul,
+            Op::Divu,
+            Op::Sh2add,
+            Op::Andn,
+            Op::Max,
+            Op::Rol,
+        ] {
+            roundtrip(DecodedInst {
+                op,
+                rd: 7,
+                rs1: 11,
+                rs2: 13,
+                ..Default::default()
+            });
+        }
+    }
+
+    #[test]
+    fn roundtrip_imm_ops() {
+        for (op, imm) in [
+            (Op::Addi, -2048),
+            (Op::Andi, 2047),
+            (Op::Slli, 63),
+            (Op::Srai, 63),
+            (Op::Rori, 17),
+            (Op::Lw, -4),
+            (Op::Ld, 2040),
+            (Op::Jalr, 16),
+        ] {
+            let d = DecodedInst {
+                op,
+                rd: 5,
+                rs1: 6,
+                imm,
+                ..Default::default()
+            };
+            let raw = encode(&d).unwrap();
+            let back = decode32(raw);
+            assert_eq!((back.op, back.imm), (op, imm));
+        }
+    }
+
+    #[test]
+    fn roundtrip_branch_store_jump() {
+        let d = DecodedInst {
+            op: Op::Beq,
+            rs1: 1,
+            rs2: 2,
+            imm: -4096,
+            ..Default::default()
+        };
+        let back = decode32(encode(&d).unwrap());
+        assert_eq!(back.imm, -4096);
+
+        let d = DecodedInst {
+            op: Op::Sd,
+            rs1: 2,
+            rs2: 8,
+            imm: -8,
+            ..Default::default()
+        };
+        let back = decode32(encode(&d).unwrap());
+        assert_eq!((back.op, back.imm), (Op::Sd, -8));
+
+        let d = DecodedInst {
+            op: Op::Jal,
+            rd: 1,
+            imm: -1048576,
+            ..Default::default()
+        };
+        let back = decode32(encode(&d).unwrap());
+        assert_eq!(back.imm, -1048576);
+    }
+
+    #[test]
+    fn roundtrip_fp() {
+        for op in [Op::FaddD, Op::FmulS, Op::FcvtDW, Op::FmvXD, Op::FeqD] {
+            roundtrip(DecodedInst {
+                op,
+                rd: 3,
+                rs1: 4,
+                rs2: 5,
+                rm: 0,
+                ..Default::default()
+            });
+        }
+        let d = DecodedInst {
+            op: Op::FmaddD,
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+            rs3: 4,
+            rm: 7,
+            ..Default::default()
+        };
+        let back = decode32(encode(&d).unwrap());
+        assert_eq!((back.op, back.rs3, back.rm), (Op::FmaddD, 4, 7));
+    }
+
+    #[test]
+    fn roundtrip_amo_and_system() {
+        for op in [Op::LrD, Op::ScW, Op::AmomaxuD, Op::AmoswapW] {
+            roundtrip(DecodedInst {
+                op,
+                rd: 9,
+                rs1: 10,
+                rs2: 11,
+                ..Default::default()
+            });
+        }
+        assert_eq!(decode32(encode(&DecodedInst { op: Op::Mret, ..Default::default() }).unwrap()).op, Op::Mret);
+        assert_eq!(decode32(encode(&DecodedInst { op: Op::Ecall, ..Default::default() }).unwrap()).op, Op::Ecall);
+    }
+
+    #[test]
+    fn illegal_does_not_encode() {
+        assert_eq!(encode(&DecodedInst::default()), None);
+    }
+}

@@ -1,0 +1,713 @@
+//! Host-float-backed floating-point semantics with RISC-V NaN boxing.
+//!
+//! This is the analogue of NEMU's fast path (paper §III-D1d): guest
+//! floating-point instructions are interpreted with host floating-point
+//! arithmetic, including FMA via the host's fused `mul_add`. Results are
+//! NaN-boxed and NaN-canonicalized per the RISC-V spec.
+//!
+//! Rounding: host arithmetic rounds to nearest-even; the explicit rounding
+//! mode field is honored for float→int conversions (where RISC-V code
+//! commonly uses RTZ) and ignored for arithmetic, which is an accepted
+//! approximation documented in DESIGN.md. The exact-rounding
+//! [`crate::softfloat`] module is the bit-precise alternative used by the
+//! Spike-like baseline.
+
+use crate::op::Op;
+
+/// Exception flag bits (fcsr fflags layout).
+#[allow(missing_docs)]
+pub mod flags {
+    pub const NX: u64 = 1 << 0;
+    pub const UF: u64 = 1 << 1;
+    pub const OF: u64 = 1 << 2;
+    pub const DZ: u64 = 1 << 3;
+    pub const NV: u64 = 1 << 4;
+}
+
+/// Canonical quiet NaN for f32 (as boxed 64-bit value).
+pub const CANONICAL_NAN_F32: u64 = 0xffff_ffff_7fc0_0000;
+/// Canonical quiet NaN for f64.
+pub const CANONICAL_NAN_F64: u64 = 0x7ff8_0000_0000_0000;
+
+/// Result of a floating-point operation: the destination bits (NaN-boxed
+/// for single precision, raw integer for int-destination ops) plus the
+/// accumulated exception flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpResult {
+    /// Destination register value.
+    pub bits: u64,
+    /// fflags bits raised by this operation.
+    pub flags: u64,
+}
+
+#[inline]
+fn box32(bits: u32) -> u64 {
+    0xffff_ffff_0000_0000 | bits as u64
+}
+
+/// Unbox a single-precision value; improperly boxed values read as the
+/// canonical NaN, as the spec requires.
+#[inline]
+pub fn unbox32(v: u64) -> f32 {
+    if v >> 32 == 0xffff_ffff {
+        f32::from_bits(v as u32)
+    } else {
+        f32::from_bits(0x7fc0_0000)
+    }
+}
+
+#[inline]
+fn canon32(x: f32) -> u64 {
+    if x.is_nan() {
+        CANONICAL_NAN_F32
+    } else {
+        box32(x.to_bits())
+    }
+}
+
+#[inline]
+fn canon64(x: f64) -> u64 {
+    if x.is_nan() {
+        CANONICAL_NAN_F64
+    } else {
+        x.to_bits()
+    }
+}
+
+#[inline]
+fn is_snan32(bits: u32) -> bool {
+    let exp_all = bits & 0x7f80_0000 == 0x7f80_0000;
+    exp_all && bits & 0x007f_ffff != 0 && bits & 0x0040_0000 == 0
+}
+
+#[inline]
+fn is_snan64(bits: u64) -> bool {
+    let exp_all = bits & 0x7ff0_0000_0000_0000 == 0x7ff0_0000_0000_0000;
+    exp_all && bits & 0x000f_ffff_ffff_ffff != 0 && bits & 0x0008_0000_0000_0000 == 0
+}
+
+fn arith_flags32(r: f32, operands_nan: bool) -> u64 {
+    let mut f = 0;
+    if r.is_nan() && !operands_nan {
+        f |= flags::NV;
+    }
+    if r.is_infinite() && !operands_nan {
+        f |= flags::OF | flags::NX;
+    }
+    f
+}
+
+fn arith_flags64(r: f64, operands_nan: bool) -> u64 {
+    let mut f = 0;
+    if r.is_nan() && !operands_nan {
+        f |= flags::NV;
+    }
+    if r.is_infinite() && !operands_nan {
+        f |= flags::OF | flags::NX;
+    }
+    f
+}
+
+/// Round a host double according to a RISC-V rounding mode.
+#[inline]
+fn round_f64(x: f64, rm: u8) -> f64 {
+    match rm {
+        0 => round_ties_even(x),  // RNE
+        1 => x.trunc(),           // RTZ
+        2 => x.floor(),           // RDN
+        3 => x.ceil(),            // RUP
+        4 => {
+            // RMM: ties away from zero.
+            if x >= 0.0 {
+                (x + 0.5).floor()
+            } else {
+                (x - 0.5).ceil()
+            }
+        }
+        _ => round_ties_even(x),
+    }
+}
+
+#[inline]
+fn round_ties_even(x: f64) -> f64 {
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - x.signum()
+    } else {
+        r
+    }
+}
+
+macro_rules! cvt_to_int {
+    ($x:expr, $rm:expr, $ty:ty) => {{
+        let x = $x;
+        if x.is_nan() {
+            FpResult {
+                bits: <$ty>::MAX as i64 as u64,
+                flags: flags::NV,
+            }
+        } else {
+            let r = round_f64(x, $rm);
+            if r < <$ty>::MIN as f64 {
+                FpResult {
+                    bits: <$ty>::MIN as i64 as u64,
+                    flags: flags::NV,
+                }
+            } else if r >= -(<$ty>::MIN as f64) && <$ty>::MIN != 0 {
+                FpResult {
+                    bits: <$ty>::MAX as i64 as u64,
+                    flags: flags::NV,
+                }
+            } else if <$ty>::MIN == 0 && r >= 2.0f64.powi(8 * std::mem::size_of::<$ty>() as i32) {
+                FpResult {
+                    bits: <$ty>::MAX as i64 as u64,
+                    flags: flags::NV,
+                }
+            } else {
+                let v = r as $ty;
+                let nx = if r != x { flags::NX } else { 0 };
+                FpResult {
+                    bits: v as i64 as u64,
+                    flags: nx,
+                }
+            }
+        }
+    }};
+}
+
+fn minmax64(a: f64, b: f64, is_max: bool, snan: bool) -> FpResult {
+    let fl = if snan { flags::NV } else { 0 };
+    let bits = if a.is_nan() && b.is_nan() {
+        CANONICAL_NAN_F64
+    } else if a.is_nan() {
+        b.to_bits()
+    } else if b.is_nan() {
+        a.to_bits()
+    } else if a == 0.0 && b == 0.0 && a.is_sign_negative() != b.is_sign_negative() {
+        // -0.0 vs +0.0: min is -0.0, max is +0.0.
+        if is_max == a.is_sign_positive() {
+            a.to_bits()
+        } else {
+            b.to_bits()
+        }
+    } else if (a < b) != is_max {
+        a.to_bits()
+    } else {
+        b.to_bits()
+    };
+    FpResult { bits, flags: fl }
+}
+
+fn minmax32(a: f32, b: f32, is_max: bool, snan: bool) -> FpResult {
+    let fl = if snan { flags::NV } else { 0 };
+    let bits = if a.is_nan() && b.is_nan() {
+        CANONICAL_NAN_F32
+    } else if a.is_nan() {
+        box32(b.to_bits())
+    } else if b.is_nan() {
+        box32(a.to_bits())
+    } else if a == 0.0 && b == 0.0 && a.is_sign_negative() != b.is_sign_negative() {
+        if is_max == a.is_sign_positive() {
+            box32(a.to_bits())
+        } else {
+            box32(b.to_bits())
+        }
+    } else if (a < b) != is_max {
+        box32(a.to_bits())
+    } else {
+        box32(b.to_bits())
+    };
+    FpResult { bits, flags: fl }
+}
+
+/// IEEE-754 classify, returning the RISC-V 10-bit class mask.
+pub fn classify64(bits: u64) -> u64 {
+    let x = f64::from_bits(bits);
+    let sign = bits >> 63 != 0;
+    if x.is_nan() {
+        if is_snan64(bits) {
+            1 << 8
+        } else {
+            1 << 9
+        }
+    } else if x.is_infinite() {
+        if sign {
+            1 << 0
+        } else {
+            1 << 7
+        }
+    } else if x == 0.0 {
+        if sign {
+            1 << 3
+        } else {
+            1 << 4
+        }
+    } else if x.is_subnormal() {
+        if sign {
+            1 << 2
+        } else {
+            1 << 5
+        }
+    } else if sign {
+        1 << 1
+    } else {
+        1 << 6
+    }
+}
+
+/// IEEE-754 classify for single precision (takes the boxed value).
+pub fn classify32(v: u64) -> u64 {
+    let bits = if v >> 32 == 0xffff_ffff {
+        v as u32
+    } else {
+        0x7fc0_0000
+    };
+    let x = f32::from_bits(bits);
+    let sign = bits >> 31 != 0;
+    if x.is_nan() {
+        if is_snan32(bits) {
+            1 << 8
+        } else {
+            1 << 9
+        }
+    } else if x.is_infinite() {
+        if sign {
+            1 << 0
+        } else {
+            1 << 7
+        }
+    } else if x == 0.0 {
+        if sign {
+            1 << 3
+        } else {
+            1 << 4
+        }
+    } else if x.is_subnormal() {
+        if sign {
+            1 << 2
+        } else {
+            1 << 5
+        }
+    } else if sign {
+        1 << 1
+    } else {
+        1 << 6
+    }
+}
+
+/// Execute a floating-point operation.
+///
+/// `a`, `b`, `c` are the source register values: FP sources carry register
+/// bits (NaN-boxed for `.s`), integer sources (for `fcvt.*.w` etc.) carry
+/// the GPR value. The result carries destination bits in the same
+/// convention.
+///
+/// # Panics
+///
+/// Debug-asserts if `op` is not a floating-point operation.
+pub fn fp_execute(op: Op, a: u64, b: u64, c: u64, rm: u8) -> FpResult {
+    use Op::*;
+    let a32 = || unbox32(a);
+    let b32 = || unbox32(b);
+    let c32 = || unbox32(c);
+    let a64 = || f64::from_bits(a);
+    let b64 = || f64::from_bits(b);
+    let c64 = || f64::from_bits(c);
+    let nan2_32 = |x: f32, y: f32| x.is_nan() || y.is_nan();
+    let nan2_64 = |x: f64, y: f64| x.is_nan() || y.is_nan();
+    let snan2_32 = || is_snan32(a as u32) || is_snan32(b as u32);
+    let snan2_64 = || is_snan64(a) || is_snan64(b);
+
+    match op {
+        FaddS => bin32(a32(), b32(), |x, y| x + y),
+        FsubS => bin32(a32(), b32(), |x, y| x - y),
+        FmulS => bin32(a32(), b32(), |x, y| x * y),
+        FdivS => {
+            let (x, y) = (a32(), b32());
+            let r = x / y;
+            let mut fl = arith_flags32(r, nan2_32(x, y));
+            if y == 0.0 && !x.is_nan() && x != 0.0 && !x.is_infinite() {
+                fl = flags::DZ;
+            }
+            FpResult {
+                bits: canon32(r),
+                flags: fl,
+            }
+        }
+        FsqrtS => {
+            let x = a32();
+            let r = x.sqrt();
+            let fl = if x < 0.0 { flags::NV } else { 0 };
+            FpResult {
+                bits: canon32(r),
+                flags: fl,
+            }
+        }
+        FaddD => bin64(a64(), b64(), |x, y| x + y),
+        FsubD => bin64(a64(), b64(), |x, y| x - y),
+        FmulD => bin64(a64(), b64(), |x, y| x * y),
+        FdivD => {
+            let (x, y) = (a64(), b64());
+            let r = x / y;
+            let mut fl = arith_flags64(r, nan2_64(x, y));
+            if y == 0.0 && !x.is_nan() && x != 0.0 && !x.is_infinite() {
+                fl = flags::DZ;
+            }
+            FpResult {
+                bits: canon64(r),
+                flags: fl,
+            }
+        }
+        FsqrtD => {
+            let x = a64();
+            let r = x.sqrt();
+            let fl = if x < 0.0 { flags::NV } else { 0 };
+            FpResult {
+                bits: canon64(r),
+                flags: fl,
+            }
+        }
+        FmaddS => fma32(a32(), b32(), c32(), 1.0, 1.0),
+        FmsubS => fma32(a32(), b32(), c32(), 1.0, -1.0),
+        FnmsubS => fma32(a32(), b32(), c32(), -1.0, 1.0),
+        FnmaddS => fma32(a32(), b32(), c32(), -1.0, -1.0),
+        FmaddD => fma64(a64(), b64(), c64(), 1.0, 1.0),
+        FmsubD => fma64(a64(), b64(), c64(), 1.0, -1.0),
+        FnmsubD => fma64(a64(), b64(), c64(), -1.0, 1.0),
+        FnmaddD => fma64(a64(), b64(), c64(), -1.0, -1.0),
+        FsgnjS => sgnj32(a, b, |s1, s2| {
+            let _ = s1;
+            s2
+        }),
+        FsgnjnS => sgnj32(a, b, |s1, s2| {
+            let _ = s1;
+            !s2
+        }),
+        FsgnjxS => sgnj32(a, b, |s1, s2| s1 ^ s2),
+        FsgnjD => sgnj64(a, b, |s1, s2| {
+            let _ = s1;
+            s2
+        }),
+        FsgnjnD => sgnj64(a, b, |s1, s2| {
+            let _ = s1;
+            !s2
+        }),
+        FsgnjxD => sgnj64(a, b, |s1, s2| s1 ^ s2),
+        FminS => minmax32(a32(), b32(), false, snan2_32()),
+        FmaxS => minmax32(a32(), b32(), true, snan2_32()),
+        FminD => minmax64(a64(), b64(), false, snan2_64()),
+        FmaxD => minmax64(a64(), b64(), true, snan2_64()),
+        FeqS => cmp(a32() == b32(), snan2_32()),
+        FltS => cmp_signaling(a32() < b32(), nan2_32(a32(), b32())),
+        FleS => cmp_signaling(a32() <= b32(), nan2_32(a32(), b32())),
+        FeqD => cmp(a64() == b64(), snan2_64()),
+        FltD => cmp_signaling(a64() < b64(), nan2_64(a64(), b64())),
+        FleD => cmp_signaling(a64() <= b64(), nan2_64(a64(), b64())),
+        FclassS => FpResult {
+            bits: classify32(a),
+            flags: 0,
+        },
+        FclassD => FpResult {
+            bits: classify64(a),
+            flags: 0,
+        },
+        FmvXW => FpResult {
+            bits: a as u32 as i32 as i64 as u64,
+            flags: 0,
+        },
+        FmvWX => FpResult {
+            bits: box32(a as u32),
+            flags: 0,
+        },
+        FmvXD => FpResult { bits: a, flags: 0 },
+        FmvDX => FpResult { bits: a, flags: 0 },
+        FcvtWS => cvt_to_int!(a32() as f64, rm, i32),
+        FcvtWuS => cvt_to_int!(a32() as f64, rm, u32),
+        FcvtLS => cvt_to_int!(a32() as f64, rm, i64),
+        FcvtLuS => cvt_to_int!(a32() as f64, rm, u64),
+        FcvtWD => cvt_to_int!(a64(), rm, i32),
+        FcvtWuD => cvt_to_int!(a64(), rm, u32),
+        FcvtLD => cvt_to_int!(a64(), rm, i64),
+        FcvtLuD => cvt_to_int!(a64(), rm, u64),
+        FcvtSW => from_int32(a as i32 as f64),
+        FcvtSWu => from_int32(a as u32 as f64),
+        FcvtSL => from_int32(a as i64 as f64),
+        FcvtSLu => from_int32(a as f64),
+        FcvtDW => FpResult {
+            bits: canon64(a as i32 as f64),
+            flags: 0,
+        },
+        FcvtDWu => FpResult {
+            bits: canon64(a as u32 as f64),
+            flags: 0,
+        },
+        FcvtDL => FpResult {
+            bits: canon64(a as i64 as f64),
+            flags: 0,
+        },
+        FcvtDLu => FpResult {
+            bits: canon64(a as f64),
+            flags: 0,
+        },
+        FcvtSD => {
+            let x = a64();
+            let r = x as f32;
+            let nx = if !x.is_nan() && r as f64 != x {
+                flags::NX
+            } else {
+                0
+            };
+            FpResult {
+                bits: canon32(r),
+                flags: nx,
+            }
+        }
+        FcvtDS => FpResult {
+            bits: canon64(a32() as f64),
+            flags: 0,
+        },
+        _ => {
+            debug_assert!(false, "fp_execute called on {op:?}");
+            FpResult { bits: 0, flags: 0 }
+        }
+    }
+}
+
+fn bin32(x: f32, y: f32, f: impl Fn(f32, f32) -> f32) -> FpResult {
+    let r = f(x, y);
+    FpResult {
+        bits: canon32(r),
+        flags: arith_flags32(r, x.is_nan() || y.is_nan()),
+    }
+}
+
+fn bin64(x: f64, y: f64, f: impl Fn(f64, f64) -> f64) -> FpResult {
+    let r = f(x, y);
+    FpResult {
+        bits: canon64(r),
+        flags: arith_flags64(r, x.is_nan() || y.is_nan()),
+    }
+}
+
+fn fma32(a: f32, b: f32, c: f32, prod_sign: f32, add_sign: f32) -> FpResult {
+    let r = (a * prod_sign).mul_add(b, c * add_sign);
+    FpResult {
+        bits: canon32(r),
+        flags: arith_flags32(r, a.is_nan() || b.is_nan() || c.is_nan()),
+    }
+}
+
+fn fma64(a: f64, b: f64, c: f64, prod_sign: f64, add_sign: f64) -> FpResult {
+    let r = (a * prod_sign).mul_add(b, c * add_sign);
+    FpResult {
+        bits: canon64(r),
+        flags: arith_flags64(r, a.is_nan() || b.is_nan() || c.is_nan()),
+    }
+}
+
+fn sgnj32(a: u64, b: u64, f: impl Fn(bool, bool) -> bool) -> FpResult {
+    let abits = if a >> 32 == 0xffff_ffff {
+        a as u32
+    } else {
+        0x7fc0_0000
+    };
+    let bbits = if b >> 32 == 0xffff_ffff {
+        b as u32
+    } else {
+        0x7fc0_0000
+    };
+    let sign = f(abits >> 31 != 0, bbits >> 31 != 0);
+    let r = (abits & 0x7fff_ffff) | ((sign as u32) << 31);
+    FpResult {
+        bits: box32(r),
+        flags: 0,
+    }
+}
+
+fn sgnj64(a: u64, b: u64, f: impl Fn(bool, bool) -> bool) -> FpResult {
+    let sign = f(a >> 63 != 0, b >> 63 != 0);
+    FpResult {
+        bits: (a & 0x7fff_ffff_ffff_ffff) | ((sign as u64) << 63),
+        flags: 0,
+    }
+}
+
+fn cmp(result: bool, snan: bool) -> FpResult {
+    FpResult {
+        bits: result as u64,
+        flags: if snan { flags::NV } else { 0 },
+    }
+}
+
+fn cmp_signaling(result: bool, any_nan: bool) -> FpResult {
+    FpResult {
+        bits: (result && !any_nan) as u64,
+        flags: if any_nan { flags::NV } else { 0 },
+    }
+}
+
+fn from_int32(x: f64) -> FpResult {
+    let r = x as f32;
+    let nx = if r as f64 != x { flags::NX } else { 0 };
+    FpResult {
+        bits: canon32(r),
+        flags: nx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64bits(x: f64) -> u64 {
+        x.to_bits()
+    }
+
+    #[test]
+    fn double_arithmetic() {
+        let r = fp_execute(Op::FaddD, f64bits(1.5), f64bits(2.25), 0, 0);
+        assert_eq!(f64::from_bits(r.bits), 3.75);
+        let r = fp_execute(Op::FmulD, f64bits(3.0), f64bits(-2.0), 0, 0);
+        assert_eq!(f64::from_bits(r.bits), -6.0);
+        let r = fp_execute(Op::FmaddD, f64bits(2.0), f64bits(3.0), f64bits(1.0), 0);
+        assert_eq!(f64::from_bits(r.bits), 7.0);
+        let r = fp_execute(Op::FnmaddD, f64bits(2.0), f64bits(3.0), f64bits(1.0), 0);
+        assert_eq!(f64::from_bits(r.bits), -7.0);
+        let r = fp_execute(Op::FmsubD, f64bits(2.0), f64bits(3.0), f64bits(1.0), 0);
+        assert_eq!(f64::from_bits(r.bits), 5.0);
+        let r = fp_execute(Op::FnmsubD, f64bits(2.0), f64bits(3.0), f64bits(1.0), 0);
+        assert_eq!(f64::from_bits(r.bits), -5.0);
+    }
+
+    #[test]
+    fn single_nan_boxing() {
+        let a = 0xffff_ffff_0000_0000u64 | 1.5f32.to_bits() as u64;
+        let b = 0xffff_ffff_0000_0000u64 | 2.5f32.to_bits() as u64;
+        let r = fp_execute(Op::FaddS, a, b, 0, 0);
+        assert_eq!(r.bits >> 32, 0xffff_ffff);
+        assert_eq!(f32::from_bits(r.bits as u32), 4.0);
+        // An unboxed operand reads as NaN.
+        let r = fp_execute(Op::FaddS, 1.5f64.to_bits(), b, 0, 0);
+        assert_eq!(r.bits, CANONICAL_NAN_F32);
+    }
+
+    #[test]
+    fn nan_canonicalization() {
+        let nan = f64::NAN.to_bits() | 0xdead; // a non-canonical NaN payload
+        let r = fp_execute(Op::FaddD, nan, f64bits(1.0), 0, 0);
+        assert_eq!(r.bits, CANONICAL_NAN_F64);
+        assert_eq!(r.flags, 0, "quiet NaN propagation raises no flags");
+    }
+
+    #[test]
+    fn division_flags() {
+        let r = fp_execute(Op::FdivD, f64bits(1.0), f64bits(0.0), 0, 0);
+        assert!(f64::from_bits(r.bits).is_infinite());
+        assert_eq!(r.flags, flags::DZ);
+        let r = fp_execute(Op::FdivD, f64bits(0.0), f64bits(0.0), 0, 0);
+        assert_eq!(r.bits, CANONICAL_NAN_F64);
+        assert_eq!(r.flags & flags::NV, flags::NV);
+        let r = fp_execute(Op::FsqrtD, f64bits(-1.0), 0, 0, 0);
+        assert_eq!(r.flags, flags::NV);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(fp_execute(Op::FltD, f64bits(1.0), f64bits(2.0), 0, 0).bits, 1);
+        assert_eq!(fp_execute(Op::FleD, f64bits(2.0), f64bits(2.0), 0, 0).bits, 1);
+        assert_eq!(fp_execute(Op::FeqD, f64bits(2.0), f64bits(3.0), 0, 0).bits, 0);
+        // Comparisons with NaN: flt/fle signal, feq is quiet on qNaN.
+        let nan = f64::NAN.to_bits();
+        let r = fp_execute(Op::FltD, nan, f64bits(1.0), 0, 0);
+        assert_eq!((r.bits, r.flags), (0, flags::NV));
+        let r = fp_execute(Op::FeqD, nan, f64bits(1.0), 0, 0);
+        assert_eq!((r.bits, r.flags), (0, 0));
+    }
+
+    #[test]
+    fn min_max_zero_and_nan() {
+        let r = fp_execute(Op::FminD, f64bits(-0.0), f64bits(0.0), 0, 0);
+        assert_eq!(r.bits, (-0.0f64).to_bits());
+        let r = fp_execute(Op::FmaxD, f64bits(-0.0), f64bits(0.0), 0, 0);
+        assert_eq!(r.bits, 0.0f64.to_bits());
+        // One NaN: the other operand wins.
+        let r = fp_execute(Op::FmaxD, f64::NAN.to_bits(), f64bits(5.0), 0, 0);
+        assert_eq!(f64::from_bits(r.bits), 5.0);
+        let r = fp_execute(Op::FminD, f64::NAN.to_bits(), f64::NAN.to_bits(), 0, 0);
+        assert_eq!(r.bits, CANONICAL_NAN_F64);
+    }
+
+    #[test]
+    fn conversions_and_saturation() {
+        let r = fp_execute(Op::FcvtWD, f64bits(-3.75), 0, 0, 1); // RTZ
+        assert_eq!(r.bits as i64, -3);
+        assert_eq!(r.flags, flags::NX);
+        let r = fp_execute(Op::FcvtWD, f64bits(-3.75), 0, 0, 2); // RDN
+        assert_eq!(r.bits as i64, -4);
+        let r = fp_execute(Op::FcvtWD, f64bits(2.5), 0, 0, 0); // RNE
+        assert_eq!(r.bits as i64, 2);
+        let r = fp_execute(Op::FcvtWD, f64bits(3.5), 0, 0, 0); // RNE
+        assert_eq!(r.bits as i64, 4);
+        // Saturation.
+        let r = fp_execute(Op::FcvtWD, f64bits(1e20), 0, 0, 1);
+        assert_eq!((r.bits as i64, r.flags), (i32::MAX as i64, flags::NV));
+        let r = fp_execute(Op::FcvtWD, f64bits(-1e20), 0, 0, 1);
+        assert_eq!(r.bits as i64, i32::MIN as i64);
+        let r = fp_execute(Op::FcvtWuD, f64bits(-1.0), 0, 0, 1);
+        assert_eq!((r.bits, r.flags), (0, flags::NV));
+        let r = fp_execute(Op::FcvtWD, f64::NAN.to_bits(), 0, 0, 1);
+        assert_eq!(r.bits as i64, i32::MAX as i64);
+        // Int to float and back.
+        let r = fp_execute(Op::FcvtDL, (-42i64) as u64, 0, 0, 0);
+        assert_eq!(f64::from_bits(r.bits), -42.0);
+        let r = fp_execute(Op::FcvtDLu, u64::MAX, 0, 0, 0);
+        assert!(f64::from_bits(r.bits) > 1.8e19);
+    }
+
+    #[test]
+    fn sign_injection() {
+        let r = fp_execute(Op::FsgnjD, f64bits(1.5), f64bits(-2.0), 0, 0);
+        assert_eq!(f64::from_bits(r.bits), -1.5);
+        let r = fp_execute(Op::FsgnjnD, f64bits(1.5), f64bits(-2.0), 0, 0);
+        assert_eq!(f64::from_bits(r.bits), 1.5);
+        let r = fp_execute(Op::FsgnjxD, f64bits(-1.5), f64bits(-2.0), 0, 0);
+        assert_eq!(f64::from_bits(r.bits), 1.5);
+    }
+
+    #[test]
+    fn classify() {
+        assert_eq!(classify64(f64bits(-f64::INFINITY)), 1 << 0);
+        assert_eq!(classify64(f64bits(-1.0)), 1 << 1);
+        assert_eq!(classify64((-0.0f64).to_bits()), 1 << 3);
+        assert_eq!(classify64(0), 1 << 4);
+        assert_eq!(classify64(f64bits(1.0)), 1 << 6);
+        assert_eq!(classify64(f64bits(f64::INFINITY)), 1 << 7);
+        assert_eq!(classify64(CANONICAL_NAN_F64), 1 << 9);
+        assert_eq!(classify64(1), 1 << 5); // smallest subnormal
+        assert_eq!(classify32(CANONICAL_NAN_F32), 1 << 9);
+        assert_eq!(classify32(0xffff_ffff_0000_0000 | 1.0f32.to_bits() as u64), 1 << 6);
+    }
+
+    #[test]
+    fn fp_moves() {
+        let r = fp_execute(Op::FmvXD, f64bits(1.0), 0, 0, 0);
+        assert_eq!(r.bits, f64bits(1.0));
+        let r = fp_execute(Op::FmvWX, 0x3f80_0000, 0, 0, 0);
+        assert_eq!(unbox32(r.bits), 1.0);
+        // fmv.x.w sign-extends bit 31.
+        let boxed = 0xffff_ffff_0000_0000u64 | 0x8000_0000;
+        let r = fp_execute(Op::FmvXW, boxed, 0, 0, 0);
+        assert_eq!(r.bits, 0xffff_ffff_8000_0000);
+    }
+
+    #[test]
+    fn float_double_conversion() {
+        let r = fp_execute(Op::FcvtSD, f64bits(1.5), 0, 0, 0);
+        assert_eq!(unbox32(r.bits), 1.5);
+        let r = fp_execute(Op::FcvtSD, f64bits(1.0 + 1e-12), 0, 0, 0);
+        assert_eq!(r.flags, flags::NX);
+        let boxed = 0xffff_ffff_0000_0000u64 | 2.5f32.to_bits() as u64;
+        let r = fp_execute(Op::FcvtDS, boxed, 0, 0, 0);
+        assert_eq!(f64::from_bits(r.bits), 2.5);
+    }
+}

@@ -1,0 +1,945 @@
+//! A coherent, inclusive, set-associative cache level with MSHR-tracked
+//! transactions.
+//!
+//! The same structure instantiates L1I, L1D, private L2, and the shared
+//! L3: parents keep an in-line directory of child permissions and
+//! serialize transactions per line, clients grow permissions with
+//! Acquire/Grant and shrink with Probe/ProbeAck — the protocol of
+//! [`crate::msg`].
+//!
+//! The §IV-C case-study bug ("L2 MSHR does not handle the overlapping of
+//! Probe and GrantData correctly") is available as a fault injection via
+//! [`CacheConfig::inject_probe_grant_race`].
+
+use crate::msg::{
+    line_of, AccessKind, Completion, CoreReq, LineData, MsgKind, Node, Perm, LINE_SIZE,
+};
+use std::collections::VecDeque;
+use std::ops::{Index, IndexMut};
+use std::sync::Arc;
+
+/// Static configuration of one cache level.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Display name ("l1d0", "l3", ...).
+    pub name: String,
+    /// Capacity in bytes.
+    pub size: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Cycles from request acceptance to response for a hit.
+    pub hit_latency: u64,
+    /// Maximum concurrently outstanding core-side misses (L1 only).
+    pub mshrs: usize,
+    /// Inject the Probe/GrantData overlap race of paper §IV-C.
+    pub inject_probe_grant_race: bool,
+}
+
+impl CacheConfig {
+    /// A convenience constructor.
+    pub fn new(name: &str, size: usize, ways: usize, hit_latency: u64, mshrs: usize) -> Self {
+        CacheConfig {
+            name: name.to_string(),
+            size,
+            ways,
+            hit_latency,
+            mshrs,
+            inject_probe_grant_race: false,
+        }
+    }
+
+    fn n_sets(&self) -> usize {
+        (self.size / LINE_SIZE as usize / self.ways).max(1)
+    }
+}
+
+/// Aggregate statistics of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests satisfied locally.
+    pub hits: u64,
+    /// Requests that required the parent.
+    pub misses: u64,
+    /// Lines written back (dirty evictions/probe write-backs).
+    pub writebacks: u64,
+    /// Probes sent to children.
+    pub probes_sent: u64,
+    /// Probes received from the parent.
+    pub probes_received: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Times the injected probe/grant race fired (fault injection only).
+    pub injected_races: u64,
+}
+
+/// The cache data arrays behind an `Arc`: cloning a cache (LightSSS
+/// snapshots) shares the arrays and duplicates them lazily on the next
+/// write — the same copy-on-write idea as the guest memory pages.
+#[derive(Debug, Clone)]
+struct CowSets(Arc<Vec<Vec<Line>>>);
+
+impl CowSets {
+    fn new(sets: Vec<Vec<Line>>) -> Self {
+        CowSets(Arc::new(sets))
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn iter(&self) -> impl Iterator<Item = &Vec<Line>> {
+        self.0.iter()
+    }
+    fn iter_mut(&mut self) -> impl Iterator<Item = &mut Vec<Line>> {
+        Arc::make_mut(&mut self.0).iter_mut()
+    }
+    /// Serialize every valid line for the eager SSS snapshot baseline.
+    fn dump(&self, out: &mut Vec<u8>) {
+        for set in self.0.iter() {
+            for l in set {
+                out.extend_from_slice(&l.tag.to_le_bytes());
+                out.push(l.perm as u8);
+                out.push(l.dirty as u8);
+                out.extend_from_slice(&l.data);
+            }
+        }
+    }
+}
+
+impl Index<usize> for CowSets {
+    type Output = Vec<Line>;
+    fn index(&self, i: usize) -> &Vec<Line> {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for CowSets {
+    fn index_mut(&mut self, i: usize) -> &mut Vec<Line> {
+        &mut Arc::make_mut(&mut self.0)[i]
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64, // full line address
+    perm: Perm,
+    dirty: bool,
+    child_perm: [Perm; 2],
+    data: LineData,
+    installed_at: u64,
+}
+
+impl Line {
+    fn invalid() -> Self {
+        Line {
+            tag: u64::MAX,
+            perm: Perm::None,
+            dirty: false,
+            child_perm: [Perm::None; 2],
+            data: [0; LINE_SIZE as usize],
+            installed_at: 0,
+        }
+    }
+
+    fn max_child_perm(&self) -> Perm {
+        self.child_perm[0].max(self.child_perm[1])
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Requester {
+    /// A child cache acquiring permission.
+    Child {
+        slot: usize,
+        need: Perm,
+    },
+    /// Core-side requests (L1 only); all target the same line.
+    Core(Vec<CoreReq>),
+    /// A probe from the parent capping our permission.
+    ParentProbe {
+        cap: Perm,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnState {
+    /// Waiting for ProbeAcks from children.
+    ProbeChildren { outstanding: usize },
+    /// Waiting for a Grant from the parent.
+    AcquireParent,
+    /// Waiting for recall ProbeAcks on the eviction victim.
+    EvictRecall { outstanding: usize, victim: u64 },
+    /// Waiting for the parent's ReleaseAck (eviction in flight).
+    ReleaseWait { victim: u64 },
+    /// Grant sent to a child; waiting for its GrantAck before releasing
+    /// the per-line serialization.
+    GrantWait,
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    line: u64,
+    state: TxnState,
+    requester: Requester,
+    /// Grant buffered while the victim eviction completes.
+    buffered_grant: Option<(Perm, Option<Box<LineData>>)>,
+}
+
+/// Messages and completions produced by one cache in one cycle.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// Protocol messages to route (destination, payload).
+    pub msgs: Vec<(Node, MsgKind)>,
+    /// Core-request completions (L1 caches only).
+    pub completions: Vec<Completion>,
+}
+
+/// One coherent cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// Configuration.
+    pub cfg: CacheConfig,
+    /// This cache's node id.
+    pub node: Node,
+    /// Parent node (next level toward memory).
+    pub parent: Node,
+    /// Child nodes (cache levels or core ports that acquire from us).
+    pub children: Vec<Node>,
+    sets: CowSets,
+    txns: Vec<Txn>,
+    waiting_acquires: VecDeque<(usize, Perm, u64)>, // (child slot, need, line)
+    deferred_probes: VecDeque<(u64, Perm)>,
+    /// Statistics.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache level.
+    pub fn new(cfg: CacheConfig, node: Node, parent: Node, children: Vec<Node>) -> Self {
+        assert!(children.len() <= 2, "at most two children per level");
+        let sets = CowSets::new(vec![vec![Line::invalid(); cfg.ways]; cfg.n_sets()]);
+        Cache {
+            cfg,
+            node,
+            parent,
+            children,
+            sets,
+            txns: Vec::new(),
+            waiting_acquires: VecDeque::new(),
+            deferred_probes: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        ((line / LINE_SIZE) as usize) % self.sets.len()
+    }
+
+    fn find_line(&self, line: u64) -> Option<(usize, usize)> {
+        let s = self.set_index(line);
+        self.sets[s]
+            .iter()
+            .position(|l| l.tag == line && l.perm != Perm::None)
+            .map(|w| (s, w))
+    }
+
+    fn line_ref(&self, line: u64) -> Option<&Line> {
+        self.find_line(line).map(|(s, w)| &self.sets[s][w])
+    }
+
+    fn line_mut(&mut self, line: u64) -> Option<&mut Line> {
+        let (s, w) = self.find_line(line)?;
+        Some(&mut self.sets[s][w])
+    }
+
+    fn child_slot(&self, node: Node) -> usize {
+        self.children
+            .iter()
+            .position(|&c| c == node)
+            .unwrap_or_else(|| panic!("{:?} is not a child of {}", node, self.cfg.name))
+    }
+
+    fn has_txn_on(&self, line: u64) -> bool {
+        self.txns
+            .iter()
+            .any(|t| t.line == line && !matches!(t.requester, Requester::ParentProbe { .. }))
+    }
+
+    /// True when any transaction (including parent probes and evictions)
+    /// concerns `line` — used for per-line serialization.
+    fn line_busy(&self, line: u64) -> bool {
+        self.txns.iter().any(|t| {
+            t.line == line
+                || matches!(t.state,
+                    TxnState::EvictRecall { victim, .. } | TxnState::ReleaseWait { victim }
+                        if victim == line)
+        })
+    }
+
+    /// Number of in-flight transactions (for MSHR occupancy stats).
+    pub fn active_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Core-side interface (L1 caches).
+    // ------------------------------------------------------------------
+
+    /// Try to accept a core request. Returns false when the request must
+    /// be retried later (MSHRs exhausted or the line is busy).
+    pub fn submit_core(&mut self, req: CoreReq, now: u64, out: &mut Outbox) -> bool {
+        let line = line_of(req.addr);
+        debug_assert!(
+            line_of(req.addr + req.size.max(1) - 1) == line,
+            "core requests must not cross a line"
+        );
+        if self.line_busy(line) {
+            // Merge into the existing miss when the permission suffices.
+            for t in &mut self.txns {
+                if t.line == line {
+                    if let Requester::Core(reqs) = &mut t.requester {
+                        let need = perm_for(req.kind);
+                        let have = txn_need(reqs);
+                        if have.covers(need) {
+                            reqs.push(req);
+                            return true;
+                        }
+                    }
+                }
+            }
+            return false;
+        }
+        let need = perm_for(req.kind);
+        if let Some(l) = self.line_ref(line) {
+            if l.perm.covers(need) && l.max_child_perm() == Perm::None {
+                self.stats.hits += 1;
+                let (s, w) = self.find_line(line).expect("line present");
+                let completion = perform_access(&mut self.sets[s][w], &req, now + self.cfg.hit_latency, true);
+                out.completions.push(completion);
+                return true;
+            }
+        }
+        if self.txns.len() >= self.cfg.mshrs {
+            return false;
+        }
+        self.stats.misses += 1;
+        let mut txn = Txn {
+            line,
+            state: TxnState::AcquireParent, // placeholder, fixed by begin_serve
+            requester: Requester::Core(vec![req]),
+            buffered_grant: None,
+        };
+        if self.begin_serve(&mut txn, now, out) {
+            self.txn_epilogue(line, now, out);
+        } else {
+            self.txns.push(txn);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol engine.
+    // ------------------------------------------------------------------
+
+    /// Handle an incoming protocol message.
+    pub fn handle(&mut self, src: Node, kind: MsgKind, now: u64, out: &mut Outbox) {
+        match kind {
+            MsgKind::Acquire { line, need } => {
+                let slot = self.child_slot(src);
+                if self.line_busy(line) {
+                    self.waiting_acquires.push_back((slot, need, line));
+                } else {
+                    let mut txn = Txn {
+                        line,
+                        state: TxnState::AcquireParent,
+                        requester: Requester::Child { slot, need },
+                        buffered_grant: None,
+                    };
+                    if self.begin_serve(&mut txn, now, out) {
+                        self.txn_epilogue(line, now, out);
+                    } else {
+                        self.txns.push(txn);
+                    }
+                }
+            }
+            MsgKind::Grant { line, perm, data } => {
+                out.msgs.push((self.parent, MsgKind::GrantAck { line }));
+                self.on_grant(line, perm, data, now, out);
+            }
+            MsgKind::GrantAck { line } => {
+                if let Some(idx) = self
+                    .txns
+                    .iter()
+                    .position(|t| t.line == line && t.state == TxnState::GrantWait)
+                {
+                    self.txns.swap_remove(idx);
+                    self.txn_epilogue(line, now, out);
+                }
+            }
+            MsgKind::Probe { line, cap } => {
+                self.stats.probes_received += 1;
+                self.on_probe(line, cap, now, out);
+            }
+            MsgKind::ProbeAck { line, now: child_now, data } => {
+                let slot = self.child_slot(src);
+                self.on_probe_ack(line, slot, child_now, data, now, out);
+            }
+            MsgKind::Release { line, data } => {
+                let slot = self.child_slot(src);
+                if let Some(l) = self.line_mut(line) {
+                    l.child_perm[slot] = Perm::None;
+                    if let Some(d) = data {
+                        l.data = *d;
+                        l.dirty = true;
+                    }
+                }
+                out.msgs.push((src, MsgKind::ReleaseAck { line }));
+            }
+            MsgKind::ReleaseAck { line } => {
+                self.on_release_ack(line, now, out);
+            }
+        }
+    }
+
+    /// Start (or restart) serving an acquire-type transaction: probe
+    /// conflicting children, then acquire from the parent, then grant.
+    /// Returns true when the transaction completed synchronously.
+    fn begin_serve(&mut self, txn: &mut Txn, now: u64, out: &mut Outbox) -> bool {
+        let line = txn.line;
+        let need = match &txn.requester {
+            Requester::Child { need, .. } => *need,
+            Requester::Core(reqs) => txn_need(reqs),
+            _ => unreachable!("begin_serve on non-acquire txn"),
+        };
+        let exclude = match &txn.requester {
+            Requester::Child { slot, .. } => Some(*slot),
+            _ => None,
+        };
+        if let Some((s, w)) = self.find_line(line) {
+            let l = &self.sets[s][w];
+            if l.perm.covers(need) {
+                // Locally sufficient: shrink other children first.
+                let cap = if need == Perm::Trunk {
+                    Perm::None
+                } else {
+                    Perm::Branch
+                };
+                let mut outstanding = 0;
+                for (slot, child) in self.children.iter().enumerate() {
+                    if Some(slot) != exclude && l.child_perm[slot] > cap {
+                        out.msgs.push((*child, MsgKind::Probe { line, cap }));
+                        outstanding += 1;
+                    }
+                }
+                self.stats.probes_sent += outstanding as u64;
+                return if outstanding > 0 {
+                    txn.state = TxnState::ProbeChildren {
+                        outstanding: outstanding as usize,
+                    };
+                    false
+                } else {
+                    self.finish_serve(txn, now, out)
+                };
+            }
+        }
+        // Grow our own permission.
+        out.msgs.push((self.parent, MsgKind::Acquire { line, need }));
+        txn.state = TxnState::AcquireParent;
+        false
+    }
+
+    /// Complete an acquire-type transaction: update directory/data and
+    /// respond to the requester. Returns true when fully done (core
+    /// requests); child grants keep the line serialized until GrantAck.
+    fn finish_serve(&mut self, txn: &mut Txn, now: u64, out: &mut Outbox) -> bool {
+        let line = txn.line;
+        let latency = self.cfg.hit_latency;
+        let (s, w) = self.find_line(line).expect("line installed by now");
+        match &txn.requester {
+            Requester::Child { slot, need } => {
+                let l = &mut self.sets[s][w];
+                l.child_perm[*slot] = *need;
+                if *need == Perm::Trunk {
+                    for (i, p) in l.child_perm.iter_mut().enumerate() {
+                        if i != *slot {
+                            *p = Perm::None;
+                        }
+                    }
+                }
+                out.msgs.push((
+                    self.children[*slot],
+                    MsgKind::Grant {
+                        line,
+                        perm: *need,
+                        data: Some(Box::new(l.data)),
+                    },
+                ));
+                txn.state = TxnState::GrantWait;
+                false
+            }
+            Requester::Core(reqs) => {
+                for req in reqs {
+                    let l = &mut self.sets[s][w];
+                    let completion = perform_access(l, req, now + latency, false);
+                    out.completions.push(completion);
+                }
+                true
+            }
+            _ => unreachable!("finish_serve on non-acquire txn"),
+        }
+    }
+
+    fn on_grant(
+        &mut self,
+        line: u64,
+        perm: Perm,
+        data: Option<Box<LineData>>,
+        now: u64,
+        out: &mut Outbox,
+    ) {
+        let idx = self
+            .txns
+            .iter()
+            .position(|t| t.line == line && t.state == TxnState::AcquireParent)
+            .unwrap_or_else(|| panic!("{}: unexpected grant for {line:#x}", self.cfg.name));
+        let mut txn = self.txns.swap_remove(idx);
+        // Install: find a way (existing line for upgrades, else a victim).
+        if self.find_line(line).is_some() {
+            let l = self.line_mut(line).expect("present");
+            l.perm = perm;
+            if let Some(d) = data {
+                if !l.dirty {
+                    l.data = *d;
+                }
+            }
+            l.installed_at = now;
+            if self.begin_serve(&mut txn, now, out) {
+                self.complete_txn(txn, now, out);
+            } else {
+                self.txns.push(txn);
+            }
+            return;
+        }
+        let set = self.set_index(line);
+        match self.pick_victim(set, line) {
+            VictimChoice::Free(w) => {
+                self.install(set, w, line, perm, data.as_deref(), now);
+                if self.begin_serve(&mut txn, now, out) {
+                    self.complete_txn(txn, now, out);
+                } else {
+                    self.txns.push(txn);
+                }
+            }
+            VictimChoice::Evict(wv) => {
+                let victim = self.sets[set][wv].tag;
+                self.stats.evictions += 1;
+                let recalled = self.recall_children(victim, out);
+                txn.buffered_grant = Some((perm, data));
+                if recalled > 0 {
+                    txn.state = TxnState::EvictRecall {
+                        outstanding: recalled,
+                        victim,
+                    };
+                    self.txns.push(txn);
+                } else {
+                    self.release_victim(victim, out);
+                    txn.state = TxnState::ReleaseWait { victim };
+                    self.txns.push(txn);
+                }
+            }
+        }
+    }
+
+    /// Send recall probes to children holding `victim`; returns how many.
+    fn recall_children(&mut self, victim: u64, out: &mut Outbox) -> usize {
+        let Some(l) = self.line_ref(victim) else {
+            return 0;
+        };
+        let mut n = 0;
+        for (slot, child) in self.children.iter().enumerate() {
+            if l.child_perm[slot] > Perm::None {
+                out.msgs.push((
+                    *child,
+                    MsgKind::Probe {
+                        line: victim,
+                        cap: Perm::None,
+                    },
+                ));
+                n += 1;
+            }
+        }
+        self.stats.probes_sent += n as u64;
+        n
+    }
+
+    /// Issue the Release for a fully recalled victim.
+    fn release_victim(&mut self, victim: u64, out: &mut Outbox) {
+        let l = self.line_mut(victim).expect("victim present");
+        let data = if l.dirty {
+            Some(Box::new(l.data))
+        } else {
+            None
+        };
+        if data.is_some() {
+            self.stats.writebacks += 1;
+        }
+        out.msgs.push((self.parent, MsgKind::Release { line: victim, data }));
+        let l = self.line_mut(victim).expect("victim present");
+        *l = Line::invalid();
+    }
+
+    fn on_release_ack(&mut self, released: u64, now: u64, out: &mut Outbox) {
+        let idx = self
+            .txns
+            .iter()
+            .position(|t| matches!(t.state, TxnState::ReleaseWait { victim } if victim == released));
+        let Some(idx) = idx else { return };
+        let mut txn = self.txns.swap_remove(idx);
+        // The victim line is gone: serve anything that was deferred on it
+        // (a parent probe answers "None" now; a queued acquire restarts).
+        self.txn_epilogue(released, now, out);
+        // Resume the buffered install.
+        let (perm, data) = txn.buffered_grant.take().expect("grant buffered");
+        let set = self.set_index(txn.line);
+        match self.pick_victim(set, txn.line) {
+            VictimChoice::Free(w) => {
+                self.install(set, w, txn.line, perm, data.as_deref(), now);
+                if self.begin_serve(&mut txn, now, out) {
+                    self.complete_txn(txn, now, out);
+                } else {
+                    self.txns.push(txn);
+                }
+            }
+            VictimChoice::Evict(wv) => {
+                // Another victim needed (set under heavy pressure).
+                let victim = self.sets[set][wv].tag;
+                self.stats.evictions += 1;
+                let recalled = self.recall_children(victim, out);
+                txn.buffered_grant = Some((perm, data));
+                if recalled > 0 {
+                    txn.state = TxnState::EvictRecall {
+                        outstanding: recalled,
+                        victim,
+                    };
+                } else {
+                    self.release_victim(victim, out);
+                    txn.state = TxnState::ReleaseWait { victim };
+                }
+                self.txns.push(txn);
+            }
+        }
+    }
+
+    fn install(
+        &mut self,
+        set: usize,
+        way: usize,
+        line: u64,
+        perm: Perm,
+        data: Option<&LineData>,
+        now: u64,
+    ) {
+        let l = &mut self.sets[set][way];
+        *l = Line::invalid();
+        l.tag = line;
+        l.perm = perm;
+        if let Some(d) = data {
+            l.data = *d;
+        }
+        l.installed_at = now;
+    }
+
+    fn pick_victim(&self, set: usize, _incoming: u64) -> VictimChoice {
+        // Prefer an invalid way, then a way with no child copies (clean
+        // first), finally any non-busy way that needs recall.
+        if let Some(w) = self.sets[set].iter().position(|l| l.perm == Perm::None) {
+            return VictimChoice::Free(w);
+        }
+        let busy = |l: &Line| self.line_busy(l.tag);
+        let mut candidate: Option<usize> = None;
+        for (w, l) in self.sets[set].iter().enumerate() {
+            if busy(l) {
+                continue;
+            }
+            if l.max_child_perm() == Perm::None && !l.dirty {
+                return VictimChoice::Evict(w);
+            }
+            candidate.get_or_insert(w);
+        }
+        VictimChoice::Evict(candidate.expect("at least one non-busy way per set"))
+    }
+
+    fn on_probe(&mut self, line: u64, cap: Perm, now: u64, out: &mut Outbox) {
+        // Defer while we are mid-transaction with installed state on the
+        // line (probing children or evicting it).
+        let blocking = self.txns.iter().any(|t| {
+            t.line == line
+                && matches!(
+                    t.state,
+                    TxnState::ProbeChildren { .. }
+                        | TxnState::EvictRecall { .. }
+                        | TxnState::ReleaseWait { .. }
+                        | TxnState::GrantWait
+                )
+        }) || self
+            .txns
+            .iter()
+            .any(|t| matches!(t.state, TxnState::EvictRecall { victim, .. } | TxnState::ReleaseWait { victim } if victim == line));
+        if blocking {
+            self.deferred_probes.push_back((line, cap));
+            return;
+        }
+        let Some((s, w)) = self.find_line(line) else {
+            // We no longer hold the line (e.g. it raced with our Release).
+            out.msgs.push((
+                self.parent,
+                MsgKind::ProbeAck {
+                    line,
+                    now: Perm::None,
+                    data: None,
+                },
+            ));
+            return;
+        };
+        let l = &self.sets[s][w];
+        let mut outstanding = 0;
+        for (slot, child) in self.children.iter().enumerate() {
+            if l.child_perm[slot] > cap {
+                out.msgs.push((*child, MsgKind::Probe { line, cap }));
+                outstanding += 1;
+            }
+        }
+        self.stats.probes_sent += outstanding as u64;
+        if outstanding > 0 {
+            self.txns.push(Txn {
+                line,
+                state: TxnState::ProbeChildren { outstanding },
+                requester: Requester::ParentProbe { cap },
+                buffered_grant: None,
+            });
+        } else {
+            self.probe_ack_now(line, cap, now, out);
+        }
+    }
+
+    fn probe_ack_now(&mut self, line: u64, cap: Perm, now: u64, out: &mut Outbox) {
+        let parent = self.parent;
+        let inject = self.cfg.inject_probe_grant_race;
+        let l = self.line_mut(line).expect("probed line present");
+        // FAULT INJECTION (paper §IV-C): when the probe overlaps a
+        // just-granted line ("Probe and GrantData from L3 arrive at a
+        // specific time interval"), the buggy MSHR mixes up its data
+        // buffers and writes back the wrong data.
+        let injected = inject && now.saturating_sub(l.installed_at) <= 300;
+        if injected {
+            l.data[0] ^= 0xff;
+            l.data[8] ^= 0xff;
+            l.dirty = true;
+        }
+        let data = if l.dirty && cap < Perm::Trunk {
+            l.dirty = false;
+            Some(Box::new(l.data))
+        } else {
+            None
+        };
+        let wrote_back = data.is_some();
+        l.perm = cap;
+        if cap == Perm::None {
+            *l = Line::invalid();
+        }
+        if wrote_back {
+            self.stats.writebacks += 1;
+        }
+        if injected {
+            self.stats.injected_races += 1;
+        }
+        out.msgs.push((parent, MsgKind::ProbeAck { line, now: cap, data }));
+    }
+
+    fn on_probe_ack(
+        &mut self,
+        line: u64,
+        slot: usize,
+        child_now: Perm,
+        data: Option<Box<LineData>>,
+        now: u64,
+        out: &mut Outbox,
+    ) {
+        if let Some(l) = self.line_mut(line) {
+            l.child_perm[slot] = child_now;
+            if let Some(d) = data {
+                l.data = *d;
+                l.dirty = true;
+            }
+        }
+        // Find the transaction waiting on probes for this line (either an
+        // acquire-type in ProbeChildren, a ParentProbe, or an EvictRecall
+        // whose *victim* is this line).
+        let idx = self
+            .txns
+            .iter()
+            .position(|t| {
+                (t.line == line && matches!(t.state, TxnState::ProbeChildren { .. }))
+                    || matches!(t.state, TxnState::EvictRecall { victim, .. } if victim == line)
+            })
+            .unwrap_or_else(|| panic!("{}: stray ProbeAck for {line:#x}", self.cfg.name));
+        let mut txn = self.txns.swap_remove(idx);
+        match &mut txn.state {
+            TxnState::ProbeChildren { outstanding } => {
+                *outstanding -= 1;
+                if *outstanding > 0 {
+                    self.txns.push(txn);
+                    return;
+                }
+                match txn.requester.clone() {
+                    Requester::ParentProbe { cap } => {
+                        self.probe_ack_now(line, cap, now, out);
+                        self.txn_epilogue(line, now, out);
+                    }
+                    _ => {
+                        if self.finish_serve(&mut txn, now, out) {
+                            self.complete_txn(txn, now, out);
+                        } else {
+                            self.txns.push(txn);
+                        }
+                    }
+                }
+            }
+            TxnState::EvictRecall { outstanding, victim } => {
+                *outstanding -= 1;
+                if *outstanding == 0 {
+                    let victim = *victim;
+                    self.release_victim(victim, out);
+                    txn.state = TxnState::ReleaseWait { victim };
+                }
+                self.txns.push(txn);
+            }
+            _ => unreachable!("probe ack in unexpected state"),
+        }
+    }
+
+    /// Called when an acquire-type transaction fully completes.
+    fn complete_txn(&mut self, txn: Txn, now: u64, out: &mut Outbox) {
+        self.txn_epilogue(txn.line, now, out);
+    }
+
+    /// After any transaction on `line` retires: run deferred probes and
+    /// queued child acquires.
+    fn txn_epilogue(&mut self, line: u64, now: u64, out: &mut Outbox) {
+        if let Some(pos) = self.deferred_probes.iter().position(|(l, _)| *l == line) {
+            let (l, cap) = self.deferred_probes.remove(pos).expect("present");
+            self.on_probe(l, cap, now, out);
+            // A deferred probe may itself spawn a txn on this line; queued
+            // acquires wait for the next epilogue in that case.
+            if self.has_txn_on(line) {
+                return;
+            }
+        }
+        if let Some(pos) = self
+            .waiting_acquires
+            .iter()
+            .position(|&(_, _, l)| l == line)
+        {
+            let (slot, need, l) = self.waiting_acquires.remove(pos).expect("present");
+            let mut txn = Txn {
+                line: l,
+                state: TxnState::AcquireParent,
+                requester: Requester::Child { slot, need },
+                buffered_grant: None,
+            };
+            if self.begin_serve(&mut txn, now, out) {
+                self.complete_txn(txn, now, out);
+            } else {
+                self.txns.push(txn);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Functional inspection (DiffTest global memory, snapshots).
+    // ------------------------------------------------------------------
+
+    /// Peek line data if present (used for coherent functional reads).
+    pub fn peek_line(&self, line: u64) -> Option<(&LineData, bool, Perm)> {
+        self.line_ref(line).map(|l| (&l.data, l.dirty, l.perm))
+    }
+
+    /// Invalidate every line (used for fence.i on the L1I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any line is dirty — only clean (instruction) caches may
+    /// be flash-invalidated.
+    pub fn invalidate_all_clean(&mut self) {
+        for set in self.sets.iter_mut() {
+            for l in set {
+                assert!(!l.dirty, "invalidate_all_clean on a dirty line");
+                *l = Line::invalid();
+            }
+        }
+    }
+
+    /// Total number of valid lines (occupancy metric).
+    pub fn valid_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|l| l.perm != Perm::None)
+            .count()
+    }
+
+    /// Serialize the full cache state (SSS baseline).
+    pub fn dump_state(&self, out: &mut Vec<u8>) {
+        self.sets.dump(out);
+    }
+}
+
+enum VictimChoice {
+    Free(usize),
+    Evict(usize),
+}
+
+fn perm_for(kind: AccessKind) -> Perm {
+    match kind {
+        AccessKind::Fetch | AccessKind::Load => Perm::Branch,
+        AccessKind::Store | AccessKind::LoadExclusive => Perm::Trunk,
+    }
+}
+
+fn txn_need(reqs: &[CoreReq]) -> Perm {
+    reqs.iter()
+        .map(|r| perm_for(r.kind))
+        .max()
+        .unwrap_or(Perm::Branch)
+}
+
+/// Perform the data access of a hit/fill on a line and build the
+/// completion record.
+fn perform_access(l: &mut Line, req: &CoreReq, at: u64, l1_hit: bool) -> Completion {
+    let off = (req.addr - line_of(req.addr)) as usize;
+    let mut data = 0u64;
+    let mut fetch_block = None;
+    match req.kind {
+        AccessKind::Load | AccessKind::LoadExclusive => {
+            let mut buf = [0u8; 8];
+            buf[..req.size as usize].copy_from_slice(&l.data[off..off + req.size as usize]);
+            data = u64::from_le_bytes(buf);
+        }
+        AccessKind::Store => {
+            let bytes = req.data.to_le_bytes();
+            l.data[off..off + req.size as usize].copy_from_slice(&bytes[..req.size as usize]);
+            l.dirty = true;
+        }
+        AccessKind::Fetch => {
+            let mut blk = [0u8; 32];
+            let take = (LINE_SIZE as usize - off).min(32);
+            blk[..take].copy_from_slice(&l.data[off..off + take]);
+            fetch_block = Some(blk);
+        }
+    }
+    Completion {
+        req: *req,
+        at,
+        data,
+        fetch_block,
+        l1_hit,
+    }
+}

@@ -1,0 +1,35 @@
+//! Memory-system substrate for the XiangShan core model: coherent caches
+//! with a TileLink-like protocol, DRAM timing models, and the coherence
+//! permission scoreboard used by the DiffTest cache diff-rules.
+//!
+//! The hierarchy topology follows Table II of the paper: per-core L1I/L1D
+//! under a private L2, with an optional shared non-inclusive L3 (this
+//! model keeps data inclusive — see DESIGN.md §5.7) in front of a fixed-
+//! AMAT or DDR-timed memory controller.
+//!
+//! # Example
+//!
+//! ```
+//! use riscv_isa::mem::{PhysMem, SparseMemory};
+//! use uncore::{AccessKind, CoreReq, DramModel, MemSystem, MemSystemConfig};
+//!
+//! let mut backing = SparseMemory::new();
+//! backing.write_uint(0x1000, 8, 99);
+//! let mut sys = MemSystem::new(MemSystemConfig::tiny(1), DramModel::fixed(20), backing);
+//! let req = CoreReq { core: 0, kind: AccessKind::Load, addr: 0x1000, size: 8, data: 0, id: 1 };
+//! assert!(sys.submit_data(req));
+//! let c = uncore::run_until_complete(&mut sys, 1, 1000).expect("completes");
+//! assert_eq!(c.data, 99);
+//! ```
+
+pub mod cache;
+pub mod dram;
+pub mod msg;
+pub mod scoreboard;
+pub mod system;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use dram::{DdrConfig, DramModel};
+pub use msg::{line_of, AccessKind, Completion, CoreReq, Msg, MsgKind, Node, Perm, LINE_SIZE};
+pub use scoreboard::{CoherenceScoreboard, Violation};
+pub use system::{run_until_complete, LinkLatencies, MemSystem, MemSystemConfig};

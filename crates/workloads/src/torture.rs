@@ -1,0 +1,285 @@
+//! A riscv-torture-style random instruction generator.
+//!
+//! Generates terminating bare-metal programs from a seed: random ALU and
+//! bit-manipulation operations over a register window, constrained
+//! loads/stores into a sandbox, and bounded forward branches — all inside
+//! a fixed-trip-count outer loop, ending with a register checksum in
+//! `a0`. Used by the cross-interpreter and DUT-vs-REF property tests
+//! (the paper uses "existing open-source test generation frameworks" for
+//! exactly this role).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use riscv_isa::asm::{reg, Asm, Program};
+use riscv_isa::op::Op;
+
+/// Generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TortureConfig {
+    /// Instructions per loop body.
+    pub body_len: usize,
+    /// Outer-loop trip count.
+    pub iterations: i64,
+    /// Include loads/stores.
+    pub memory_ops: bool,
+    /// Include forward branches.
+    pub branches: bool,
+    /// Include M-extension ops.
+    pub muldiv: bool,
+    /// Sprinkle compressed (RVC) instructions, misaligning later 4-byte
+    /// instructions across fetch-block boundaries.
+    pub compressed: bool,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig {
+            body_len: 60,
+            iterations: 50,
+            memory_ops: true,
+            branches: true,
+            muldiv: true,
+            compressed: false,
+        }
+    }
+}
+
+const SANDBOX: i64 = 0x8004_0000;
+/// Registers the generator may clobber (x5..x15 plus x28..x31).
+const WINDOW: [u8; 15] = [5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 28, 29, 30, 31];
+
+/// Generate a random terminating program from `seed`.
+pub fn random_program(seed: u64, cfg: &TortureConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Asm::new(0x8000_0000);
+    // Seed the register window with deterministic junk.
+    for (i, &r) in WINDOW.iter().enumerate() {
+        a.li(r, (seed as i64).wrapping_mul(i as i64 + 1) ^ 0x5a5a);
+    }
+    // s2 = sandbox base, s3 = loop counter.
+    a.li(reg::S2, SANDBOX);
+    a.li(reg::S3, cfg.iterations);
+    let top = a.bound_label();
+    let mut skip_to: Option<(riscv_isa::asm::Label, usize)> = None;
+    for i in 0..cfg.body_len {
+        // Close a pending forward branch.
+        if let Some((l, at)) = skip_to {
+            if i >= at {
+                a.bind(l);
+                skip_to = None;
+            }
+        }
+        let r = |rng: &mut StdRng| WINDOW[rng.gen_range(0..WINDOW.len())];
+        match rng.gen_range(0..100) {
+            0..=54 => {
+                // Register-register ALU ops.
+                let ops: &[Op] = if cfg.muldiv {
+                    &[
+                        Op::Add,
+                        Op::Sub,
+                        Op::Xor,
+                        Op::Or,
+                        Op::And,
+                        Op::Sll,
+                        Op::Srl,
+                        Op::Sra,
+                        Op::Slt,
+                        Op::Sltu,
+                        Op::Addw,
+                        Op::Subw,
+                        Op::Mul,
+                        Op::Mulh,
+                        Op::Div,
+                        Op::Rem,
+                        Op::Divu,
+                        Op::Remu,
+                        Op::Mulw,
+                        Op::Divw,
+                        Op::Remw,
+                        Op::Andn,
+                        Op::Orn,
+                        Op::Xnor,
+                        Op::Min,
+                        Op::Max,
+                        Op::Minu,
+                        Op::Maxu,
+                        Op::Rol,
+                        Op::Ror,
+                        Op::Sh1add,
+                        Op::Sh2add,
+                        Op::Sh3add,
+                        Op::AddUw,
+                    ]
+                } else {
+                    &[Op::Add, Op::Sub, Op::Xor, Op::Or, Op::And, Op::Sll, Op::Srl]
+                };
+                let op = ops[rng.gen_range(0..ops.len())];
+                let (rd, rs1, rs2) = (r(&mut rng), r(&mut rng), r(&mut rng));
+                a.raw32(
+                    riscv_isa::encode::encode(&riscv_isa::op::DecodedInst {
+                        op,
+                        rd,
+                        rs1,
+                        rs2,
+                        ..Default::default()
+                    })
+                    .expect("alu op encodes"),
+                );
+            }
+            55..=74 => {
+                // Register-immediate ops.
+                let ops = [
+                    Op::Addi,
+                    Op::Xori,
+                    Op::Ori,
+                    Op::Andi,
+                    Op::Slti,
+                    Op::Sltiu,
+                    Op::Slli,
+                    Op::Srli,
+                    Op::Srai,
+                    Op::Addiw,
+                    Op::Rori,
+                ];
+                let op = ops[rng.gen_range(0..ops.len())];
+                let imm = if matches!(op, Op::Slli | Op::Srli | Op::Srai | Op::Rori) {
+                    rng.gen_range(0..64)
+                } else {
+                    rng.gen_range(-2048..2048)
+                };
+                a.raw32(
+                    riscv_isa::encode::encode(&riscv_isa::op::DecodedInst {
+                        op,
+                        rd: r(&mut rng),
+                        rs1: r(&mut rng),
+                        imm,
+                        ..Default::default()
+                    })
+                    .expect("imm op encodes"),
+                );
+            }
+            75..=84 if cfg.memory_ops => {
+                // Sandboxed store then load: mask an arbitrary register
+                // into [0, 0x7f8] and index off s2.
+                let (rv, rt) = (r(&mut rng), r(&mut rng));
+                a.andi(reg::T4, rv, 0x7f8 >> 2);
+                a.slli(reg::T4, reg::T4, 2);
+                a.add(reg::T4, reg::T4, reg::S2);
+                if rng.gen_bool(0.5) {
+                    a.sd(rt, 0, reg::T4);
+                } else {
+                    match rng.gen_range(0..4) {
+                        0 => a.ld(rt, 0, reg::T4),
+                        1 => a.lw(rt, 0, reg::T4),
+                        2 => a.lhu(rt, 0, reg::T4),
+                        _ => a.lb(rt, 0, reg::T4),
+                    }
+                }
+            }
+            85..=94 if cfg.branches => {
+                // Bounded forward branch over the next few instructions.
+                if skip_to.is_none() {
+                    let l = a.label();
+                    let span = rng.gen_range(1..6);
+                    match rng.gen_range(0..4) {
+                        0 => a.beq(r(&mut rng), r(&mut rng), l),
+                        1 => a.bne(r(&mut rng), r(&mut rng), l),
+                        2 => a.blt(r(&mut rng), r(&mut rng), l),
+                        _ => a.bgeu(r(&mut rng), r(&mut rng), l),
+                    }
+                    skip_to = Some((l, i + span));
+                }
+            }
+            95..=97 if cfg.compressed => {
+                // Compressed instructions shift the alignment of every
+                // later 4-byte instruction (possibly across 32-byte fetch
+                // blocks), exercising the split-fetch path.
+                match rng.gen_range(0..4) {
+                    0 => a.c_addi(r(&mut rng), rng.gen_range(-32..32).max(-32)),
+                    1 => a.c_li(r(&mut rng), rng.gen_range(-32..32)),
+                    2 => a.c_mv(r(&mut rng), r(&mut rng)),
+                    _ => a.c_nop(),
+                }
+            }
+            _ => {
+                // li with a random wide constant.
+                a.li(r(&mut rng), rng.gen::<i64>() >> rng.gen_range(0..32));
+            }
+        }
+    }
+    if let Some((l, _)) = skip_to {
+        a.bind(l);
+    }
+    a.addi(reg::S3, reg::S3, -1);
+    a.bnez(reg::S3, top);
+    // Checksum the register window into a0.
+    a.li(reg::A0, 0);
+    for &r in &WINDOW {
+        a.add(reg::A0, reg::A0, r);
+        a.rori(reg::A0, reg::A0, 7);
+    }
+    a.ebreak();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemu::{DromajoLike, Interpreter, Nemu, SpikeLike};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TortureConfig::default();
+        let a = random_program(42, &cfg);
+        let b = random_program(42, &cfg);
+        let c = random_program(43, &cfg);
+        assert_eq!(a.bytes, b.bytes);
+        assert_ne!(a.bytes, c.bytes);
+    }
+
+    #[test]
+    fn random_programs_terminate_and_agree() {
+        let cfg = TortureConfig::default();
+        for seed in 0..20 {
+            let p = random_program(seed, &cfg);
+            let mut n = Nemu::new(&p);
+            let mut s = SpikeLike::new(&p);
+            let mut d = DromajoLike::new(&p);
+            let rn = n.run(10_000_000);
+            assert!(rn.exit_code.is_some(), "seed {seed} did not halt");
+            assert_eq!(rn.exit_code, s.run(10_000_000).exit_code, "seed {seed}");
+            assert_eq!(rn.exit_code, d.run(10_000_000).exit_code, "seed {seed}");
+            assert_eq!(n.hart().state.gpr, d.hart().state.gpr, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn compressed_programs_terminate_and_agree() {
+        let cfg = TortureConfig {
+            compressed: true,
+            ..Default::default()
+        };
+        for seed in 50..60 {
+            let p = random_program(seed, &cfg);
+            let mut n = Nemu::new(&p);
+            let mut d = DromajoLike::new(&p);
+            let rn = n.run(10_000_000);
+            assert!(rn.exit_code.is_some(), "seed {seed} did not halt");
+            assert_eq!(rn.exit_code, d.run(10_000_000).exit_code, "seed {seed}");
+            assert_eq!(n.hart().state.gpr, d.hart().state.gpr, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn knobs_take_effect() {
+        let no_mem = TortureConfig {
+            memory_ops: false,
+            branches: false,
+            muldiv: false,
+            ..Default::default()
+        };
+        let p = random_program(7, &no_mem);
+        let mut n = Nemu::new(&p);
+        assert!(n.run(10_000_000).exit_code.is_some());
+    }
+}

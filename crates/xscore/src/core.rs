@@ -1,0 +1,1923 @@
+//! The cycle-level core pipeline: decoupled frontend, rename with move
+//! elimination, distributed issue, out-of-order execution with full
+//! misspeculation recovery, and in-order commit with probes.
+//!
+//! The model follows Fig. 10 of the paper at stage granularity. Stages
+//! are evaluated back-to-front each cycle so results latch one cycle
+//! later, and every speculative structure (RAT, RAS, global history, LQ/
+//! SQ, issue queues) recovers precisely on redirects.
+
+use crate::bpu::{cf_kind, Bpu, BranchPrediction};
+use crate::config::{IssuePolicy, XsConfig};
+use crate::issue::{ConfTable, DefTable, IssueQueue};
+use crate::lsu::{ForwardResult, Lsu};
+use crate::perf::PerfCounters;
+use crate::prf::{PReg, Prf, Rat};
+use crate::rob::{Rob, RobState};
+use crate::tlbs::{CoreMmu, MmuResult};
+use crate::uop::{exec_fused, fuse, try_fuse, CommitEvent, CommitMem, SbufferDrainEvent, Uop};
+use riscv_isa::csr::{CsrFile, Privilege};
+use riscv_isa::exec::{branch_taken, int_compute, load_extend};
+use riscv_isa::fpu::fp_execute;
+use riscv_isa::mem::PhysMem;
+use riscv_isa::mmu::AccessType;
+use riscv_isa::op::{DecodedInst, FuClass, Op};
+use riscv_isa::state::ArchState;
+use riscv_isa::trap::{Exception, Trap};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use uncore::{AccessKind, Completion, CoreReq, MemSystem};
+
+/// UART transmit MMIO address (matches the NEMU REF device map).
+pub const UART_TX: u64 = 0x1000_0000;
+/// CLINT mtime MMIO address.
+pub const MTIME: u64 = 0x0200_bff8;
+/// LR/SC reservation granule.
+pub const RESERVATION_GRANULE: u64 = 64;
+
+/// A coherent view over the memory system for the PTW and fetch
+/// translation: reads see the freshest committed data anywhere in the
+/// hierarchy, but *not* the store buffer — the Fig. 3 window.
+struct CoherentView<'a>(&'a mut MemSystem);
+
+impl PhysMem for CoherentView<'_> {
+    fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        let mut off = 0;
+        while off < buf.len() {
+            let n = (8 - (addr + off as u64) % 8).min((buf.len() - off) as u64) as usize;
+            let v = self.0.coherent_read(addr + off as u64, n as u64);
+            buf[off..off + n].copy_from_slice(&v.to_le_bytes()[..n]);
+            off += n;
+        }
+    }
+    fn write(&mut self, addr: u64, buf: &[u8]) {
+        // A/D-bit updates by the walker go straight to backing memory
+        // (page-table lines are not kept dirty in caches by this model).
+        self.0.backing_mut().write(addr, buf);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PreUop {
+    pc: u64,
+    inst: DecodedInst,
+    pred: Option<BranchPrediction>,
+    npc: u64,
+    fault: Option<(Exception, u64)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FuInFlight {
+    done_at: u64,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemReqKind {
+    Load { seq: u64 },
+    SbufferDrain,
+    AtomicLoad,
+    AtomicStore,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CommitStall {
+    None,
+    /// Atomic waiting for the store buffer to drain.
+    AtomicDrain,
+    /// Atomic load (LR / AMO read) in flight at physical address `pa`.
+    AtomicLoad { pa: u64 },
+    /// AMO write computed but not yet accepted by the L1D.
+    AtomicStorePending { old: u64, newv: u64, pa: u64, size: u64 },
+    /// Atomic store (SC / AMO write) in flight; `old` is the loaded value.
+    AtomicStore { old: u64, pa: u64, size: u64, newv: u64 },
+}
+
+/// Output of one core cycle.
+#[derive(Debug, Default)]
+pub struct CycleOutput {
+    /// Instructions committed this cycle (probe events).
+    pub commits: Vec<CommitEvent>,
+    /// Stores that entered the cache hierarchy this cycle.
+    pub drains: Vec<SbufferDrainEvent>,
+}
+
+/// One XiangShan-style core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Configuration.
+    pub cfg: XsConfig,
+    hart: usize,
+    /// Control and status registers (architectural).
+    pub csr: CsrFile,
+    // Rename state.
+    rat_int: Rat,
+    rat_fp: Rat,
+    arat_int: Rat,
+    arat_fp: Rat,
+    prf_int: Prf,
+    prf_fp: Prf,
+    rob: Rob,
+    iqs: Vec<IssueQueue>,
+    lsu: Lsu,
+    /// The MMU (public for scenario tests).
+    pub mmu: CoreMmu,
+    /// The branch prediction unit.
+    pub bpu: Bpu,
+    // Frontend.
+    fetch_pc: u64,
+    fetch_stall_until: u64,
+    fetch_fault_pending: bool,
+    pending_fetch: Option<(u64, u64, u64)>, // (req id, va pc, epoch)
+    partial_fetch: Option<(u64, u16)>,
+    fetch_epoch: u64,
+    ibuf: VecDeque<PreUop>,
+    // Execution.
+    fu_pipe: Vec<FuInFlight>,
+    mem_inflight: HashMap<u64, MemReqKind>,
+    next_req: u64,
+    replay_q: Vec<(u64, u64)>, // (retry_at, seq)
+    // Atomics.
+    reservation: Option<u64>,
+    lr_cycle: u64,
+    commit_stall: CommitStall,
+    /// DiffTest hook: force the next SC to fail (models a timeout even
+    /// when the timing window would not produce one).
+    pub force_sc_fail: bool,
+    // Architectural results.
+    /// Exit code once halted (ebreak convention).
+    pub halted: Option<u64>,
+    /// UART output bytes.
+    pub output: Vec<u8>,
+    cycle: u64,
+    /// Performance counters.
+    pub perf: PerfCounters,
+    pubs_conf: ConfTable,
+    pubs_def: DefTable,
+    instret: u64,
+    deferred_loads: Vec<(u64, u64, u64)>, // (deliver_at, seq, value)
+    deferred_commits: Vec<CommitEvent>,
+    deferred_drains: Vec<SbufferDrainEvent>,
+}
+
+impl Core {
+    /// Create a core resetting to `boot_pc`.
+    pub fn new(cfg: XsConfig, hart: usize, boot_pc: u64) -> Self {
+        let mut prf_int = Prf::new(cfg.int_prf);
+        let mut prf_fp = Prf::new(cfg.fp_prf);
+        let rat_int = prf_int.reset_rat();
+        let rat_fp = prf_fp.reset_rat();
+        let policy = cfg.issue_policy;
+        let iqs = vec![
+            IssueQueue::new(FuClass::Alu, cfg.iq_entries, cfg.alu_iq_width, policy),
+            IssueQueue::new(FuClass::Alu, cfg.iq_entries, cfg.alu_iq_width, policy),
+            IssueQueue::new(FuClass::Mdu, cfg.iq_entries, 1, policy),
+            // Stores issue before loads within a cycle so a same-cycle
+            // store/load pair forwards instead of racing.
+            IssueQueue::new(FuClass::Store, cfg.iq_entries, cfg.store_units, policy),
+            IssueQueue::new(FuClass::Load, cfg.iq_entries, cfg.load_units, policy),
+            IssueQueue::new(FuClass::Fma, cfg.iq_entries, cfg.fma_units, policy),
+            IssueQueue::new(FuClass::Fmisc, cfg.iq_entries, 1, policy),
+        ];
+        Core {
+            hart,
+            csr: CsrFile::new(hart as u64),
+            rat_fp,
+            arat_int: rat_int,
+            arat_fp: rat_fp,
+            rat_int,
+            prf_int,
+            prf_fp,
+            rob: Rob::new(cfg.rob_entries),
+            lsu: Lsu::new(cfg.lq_entries, cfg.sq_entries, cfg.sbuffer_entries),
+            mmu: CoreMmu::new(
+                cfg.itlb_entries,
+                cfg.dtlb_entries,
+                cfg.stlb_entries,
+                3,
+                cfg.ptw_level_latency,
+            ),
+            bpu: Bpu::new(
+                cfg.ubtb_entries,
+                cfg.btb_entries,
+                cfg.tage_entries,
+                cfg.ittage,
+                cfg.ras_depth,
+            ),
+            iqs,
+            fetch_pc: boot_pc,
+            fetch_stall_until: 0,
+            fetch_fault_pending: false,
+            pending_fetch: None,
+            partial_fetch: None,
+            fetch_epoch: 0,
+            ibuf: VecDeque::new(),
+            fu_pipe: Vec::new(),
+            mem_inflight: HashMap::new(),
+            next_req: 0,
+            replay_q: Vec::new(),
+            reservation: None,
+            lr_cycle: 0,
+            commit_stall: CommitStall::None,
+            force_sc_fail: false,
+            halted: None,
+            output: Vec::new(),
+            cycle: 0,
+            perf: PerfCounters::default(),
+            pubs_conf: ConfTable::new(1024, 3),
+            pubs_def: DefTable::new(),
+            instret: 0,
+            deferred_loads: Vec::new(),
+            deferred_commits: Vec::new(),
+            deferred_drains: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// True once the core executed the halt convention (ebreak).
+    pub fn is_halted(&self) -> bool {
+        self.halted.is_some()
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Retired instruction count.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    fn req_id(&mut self, kind: MemReqKind) -> u64 {
+        self.next_req += 1;
+        let id = ((self.hart as u64) << 48) | self.next_req;
+        self.mem_inflight.insert(id, kind);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Architectural state bridging (checkpoints, DiffTest).
+    // ------------------------------------------------------------------
+
+    /// Project the committed architectural state (the `f_Pi` mapping of
+    /// paper §III-A).
+    pub fn arch_state(&self) -> ArchState {
+        let mut s = ArchState::new(self.next_commit_pc(), self.hart as u64);
+        for i in 1..32 {
+            s.gpr[i] = self.prf_int.read(self.arat_int[i]);
+            s.fpr[i] = self.prf_fp.read(self.arat_fp[i]);
+        }
+        s.fpr[0] = self.prf_fp.read(self.arat_fp[0]);
+        s.csr = self.csr.clone();
+        s
+    }
+
+    /// PC of the next instruction to commit (fetch PC when idle).
+    pub fn next_commit_pc(&self) -> u64 {
+        self.rob.head().map(|e| e.uop.pc).unwrap_or(self.fetch_pc)
+    }
+
+    /// Restore architectural state (checkpoint restore / boot).
+    pub fn restore_arch_state(&mut self, s: &ArchState) {
+        assert!(self.rob.is_empty(), "restore only into an idle core");
+        for i in 1..32 {
+            let p = self.arat_int[i];
+            self.prf_int.write(p, s.gpr[i]);
+            let pf = self.arat_fp[i];
+            self.prf_fp.write(pf, s.fpr[i]);
+        }
+        let pf0 = self.arat_fp[0];
+        self.prf_fp.write(pf0, s.fpr[0]);
+        self.csr = s.csr.clone();
+        self.fetch_pc = s.pc;
+        self.rat_int = self.arat_int;
+        self.rat_fp = self.arat_fp;
+        self.mmu.flush();
+    }
+
+    fn read_src(&self, fp: bool, p: PReg) -> u64 {
+        if fp {
+            self.prf_fp.read(p)
+        } else {
+            self.prf_int.read(p)
+        }
+    }
+
+    fn src_ready(&self, fp: bool, p: PReg) -> bool {
+        if fp {
+            self.prf_fp.is_ready(p)
+        } else {
+            self.prf_int.is_ready(p)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The cycle driver.
+    // ------------------------------------------------------------------
+
+    /// Advance one cycle.
+    pub fn tick(&mut self, mem: &mut MemSystem, completions: &[Completion]) -> CycleOutput {
+        self.cycle += 1;
+        self.perf.cycles += 1;
+        let mut out = CycleOutput::default();
+        if self.is_halted() {
+            return out;
+        }
+        self.handle_mem_completions(mem, completions, &mut out);
+        self.writeback();
+        self.commit(mem, &mut out);
+        self.replay_loads(mem);
+        self.issue(mem);
+        self.rename_dispatch();
+        self.fetch(mem);
+        self.drain_sbuffer(mem);
+        self.csr.mcycle = self.cycle;
+        self.csr.time = self.cycle;
+        out.commits.append(&mut self.deferred_commits);
+        out.drains.append(&mut self.deferred_drains);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Memory completions.
+    // ------------------------------------------------------------------
+
+    fn handle_mem_completions(
+        &mut self,
+        mem: &mut MemSystem,
+        completions: &[Completion],
+        out: &mut CycleOutput,
+    ) {
+        for c in completions {
+            // Fetch completions.
+            if let Some((id, pc, epoch)) = self.pending_fetch {
+                if c.req.id == id {
+                    self.pending_fetch = None;
+                    if epoch == self.fetch_epoch {
+                        self.predecode(pc, c.fetch_block.expect("fetch block"));
+                    }
+                    continue;
+                }
+            }
+            let Some(kind) = self.mem_inflight.remove(&c.req.id) else {
+                continue; // squashed request
+            };
+            match kind {
+                MemReqKind::Load { seq } => {
+                    if let Some(e) = self.rob.get(seq) {
+                        let v = load_extend(e.uop.inst.op, c.data);
+                        self.finish_load(seq, v);
+                    }
+                }
+                MemReqKind::SbufferDrain => {
+                    let head = self.lsu.sbuffer.front().expect("drain completes head");
+                    out.drains.push(SbufferDrainEvent {
+                        hart: self.hart,
+                        paddr: head.paddr,
+                        size: head.size,
+                        data: head.data,
+                        cycle: self.cycle,
+                    });
+                    self.lsu.pop_drained();
+                }
+                MemReqKind::AtomicLoad => {
+                    let old = c.data;
+                    self.atomic_loaded(mem, old);
+                }
+                MemReqKind::AtomicStore => {
+                    if let CommitStall::AtomicStore { old, pa, size, newv } = self.commit_stall {
+                        out.drains.push(SbufferDrainEvent {
+                            hart: self.hart,
+                            paddr: pa,
+                            size,
+                            data: newv,
+                            cycle: self.cycle,
+                        });
+                        self.atomic_store_done(old);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_load(&mut self, seq: u64, value: u64) {
+        let Some(e) = self.rob.get_mut(seq) else {
+            return;
+        };
+        e.wb_value = value;
+        if let Some(m) = &mut e.mem_info {
+            m.value = value;
+        }
+        e.state = RobState::Done;
+        let (fp, p) = (e.dest_fp, e.phys_rd);
+        let has_dest = e.has_dest;
+        if let Some(li) = e.lq_idx {
+            // li indexes by allocation order, but flushes shuffle the LQ;
+            // find by seq instead.
+            let _ = li;
+        }
+        if let Some(l) = self.lsu.lq.iter_mut().find(|l| l.seq == seq) {
+            l.done = true;
+        }
+        if has_dest {
+            if fp {
+                self.prf_fp.write(p, value);
+            } else {
+                self.prf_int.write(p, value);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback + branch resolution.
+    // ------------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        let mut due: Vec<FuInFlight> = Vec::new();
+        self.fu_pipe.retain(|f| {
+            if f.done_at <= self.cycle {
+                due.push(*f);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|f| f.seq);
+        for f in due {
+            if self.rob.get(f.seq).is_none() {
+                continue; // squashed
+            }
+            self.execute_and_writeback(f.seq);
+        }
+    }
+
+    /// Compute the result of a (non-memory) uop and write it back.
+    fn execute_and_writeback(&mut self, seq: u64) {
+        let e = self.rob.get(seq).expect("entry exists");
+        let uop = e.uop.clone();
+        let d = uop.inst;
+        let srcs: Vec<u64> = e
+            .phys_srcs
+            .iter()
+            .flatten()
+            .map(|&(fp, p)| self.read_src(fp, p))
+            .collect();
+        let v = |i: usize| srcs.get(i).copied().unwrap_or(0);
+
+        let mut value = 0u64;
+        let mut fflags = 0u64;
+        let mut taken = false;
+        let mut target = 0u64;
+        if let Some(b) = uop.fused {
+            let (v1, vo) = if d.op == Op::Lui {
+                (0, v(0))
+            } else {
+                (v(0), v(1))
+            };
+            value = exec_fused(&d, &b, v1, vo);
+        } else if d.is_branch() {
+            taken = branch_taken(d.op, v(0), v(1));
+            target = uop.pc.wrapping_add(d.imm as u64);
+        } else if d.op == Op::Jal {
+            taken = true;
+            target = uop.pc.wrapping_add(d.imm as u64);
+            value = uop.fallthrough();
+        } else if d.op == Op::Jalr {
+            taken = true;
+            target = v(0).wrapping_add(d.imm as u64) & !1;
+            value = uop.fallthrough();
+        } else if d.op == Op::Auipc {
+            value = uop.pc.wrapping_add(d.imm as u64);
+        } else if d.op == Op::Lui {
+            value = d.imm as u64;
+        } else if let Some(r) = int_compute(
+            d.op,
+            v(0),
+            if has_imm_operand(d.op) {
+                d.imm as u64
+            } else {
+                v(1)
+            },
+        ) {
+            value = r;
+        } else {
+            // Floating point through the host FPU.
+            let a = v(0);
+            let b = if srcs.len() > 1 { v(1) } else { 0 };
+            let c = if srcs.len() > 2 { v(2) } else { 0 };
+            let rm = if d.rm == 7 { self.csr.frm() } else { d.rm };
+            let r = fp_execute(d.op, a, b, c, rm);
+            value = r.bits;
+            fflags = r.flags;
+        }
+
+        let e = self.rob.get_mut(seq).expect("entry exists");
+        e.wb_value = value;
+        e.fflags = fflags;
+        e.state = RobState::Done;
+        e.actual_taken = taken;
+        e.actual_target = target;
+        let (has_dest, fp, p) = (e.has_dest, e.dest_fp, e.phys_rd);
+        if has_dest {
+            if fp {
+                self.prf_fp.write(p, value);
+            } else {
+                self.prf_int.write(p, value);
+            }
+        }
+        // Branch resolution.
+        if uop.inst.is_control_flow() {
+            let actual_npc = if taken { target } else { uop.fallthrough() };
+            if actual_npc != uop.predicted_npc {
+                self.resolve_mispredict(seq, actual_npc, taken, target);
+            }
+        }
+    }
+
+    fn resolve_mispredict(&mut self, seq: u64, actual_npc: u64, taken: bool, target: u64) {
+        let e = self.rob.get_mut(seq).expect("branch entry");
+        e.mispredicted = true;
+        e.bpu_resolved = true;
+        let uop = e.uop.clone();
+        let snapshot = e.rat_snapshot.clone().expect("control flow has snapshot");
+        if let Some(pred) = &uop.pred {
+            self.bpu
+                .resolve(uop.pc, &uop.inst, pred, taken, target, true);
+        }
+        self.perf.flushes_mispredict += 1;
+        self.flush_after(seq, actual_npc, &snapshot);
+    }
+
+    /// Flush everything younger than `seq` and restart fetch at `new_pc`.
+    fn flush_after(&mut self, seq: u64, new_pc: u64, snapshot: &(Rat, Rat)) {
+        let flushed = self.rob.flush_after(seq);
+        for e in &flushed {
+            if e.has_dest {
+                if e.dest_fp {
+                    self.prf_fp.release(e.phys_rd);
+                } else {
+                    self.prf_int.release(e.phys_rd);
+                }
+            }
+        }
+        self.rat_int = snapshot.0;
+        self.rat_fp = snapshot.1;
+        for iq in &mut self.iqs {
+            iq.flush_after(seq);
+        }
+        self.fu_pipe.retain(|f| f.seq <= seq);
+        self.mem_inflight
+            .retain(|_, k| !matches!(k, MemReqKind::Load { seq: s } if *s > seq));
+        self.replay_q.retain(|&(_, s)| s <= seq);
+        self.lsu.flush_after(seq);
+        self.redirect_fetch(new_pc, 2);
+        self.pubs_def.clear();
+    }
+
+    /// Full pipeline flush (exceptions, serializing instructions).
+    fn flush_all(&mut self, new_pc: u64) {
+        let flushed = self.rob.flush_all();
+        for e in &flushed {
+            if e.has_dest {
+                if e.dest_fp {
+                    self.prf_fp.release(e.phys_rd);
+                } else {
+                    self.prf_int.release(e.phys_rd);
+                }
+            }
+        }
+        self.rat_int = self.arat_int;
+        self.rat_fp = self.arat_fp;
+        for iq in &mut self.iqs {
+            iq.flush_all();
+        }
+        self.fu_pipe.clear();
+        self.mem_inflight
+            .retain(|_, k| !matches!(k, MemReqKind::Load { .. }));
+        self.replay_q.clear();
+        self.lsu.flush_all_speculative();
+        self.redirect_fetch(new_pc, 3);
+        self.pubs_def.clear();
+    }
+
+    fn redirect_fetch(&mut self, new_pc: u64, bubble: u64) {
+        self.fetch_pc = new_pc;
+        self.fetch_epoch += 1;
+        self.pending_fetch = None;
+        self.partial_fetch = None;
+        self.ibuf.clear();
+        self.fetch_fault_pending = false;
+        self.fetch_stall_until = self.cycle + bubble;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit.
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self, mem: &mut MemSystem, out: &mut CycleOutput) {
+        if self.commit_stall != CommitStall::None {
+            self.advance_atomic(mem, out);
+            return;
+        }
+        for slot in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.head() else { break };
+            if head.replay_at_commit {
+                // Memory-order violation: squash and re-execute from the
+                // load itself.
+                let pc = head.uop.pc;
+                self.perf.flushes_violation += 1;
+                self.flush_all(pc);
+                break;
+            }
+            if let Some((cause, tval)) = head.exception {
+                if head.state == RobState::Done || head.commit_exec {
+                    self.take_exception(cause, tval, out);
+                }
+                break;
+            }
+            if head.commit_exec {
+                if slot != 0 {
+                    break; // serialized: only at the first commit slot
+                }
+                self.commit_system(mem, out);
+                break;
+            }
+            if head.state != RobState::Done {
+                break;
+            }
+            // Stores need store-buffer space.
+            if head.sq_idx.is_some() {
+                let mmio = head.mem_info.map(|m| m.mmio).unwrap_or(false);
+                if !mmio && self.lsu.sbuffer_full() {
+                    break;
+                }
+            }
+            let e = self.rob.pop_head().expect("head");
+            self.retire(e, out);
+        }
+    }
+
+    fn retire(&mut self, mut e: crate::rob::RobEntry, out: &mut CycleOutput) {
+        let seq = e.seq;
+        // Eliminated moves read their (shared) register at commit.
+        if e.eliminated {
+            e.wb_value = self.prf_int.read(e.phys_rd);
+        }
+        // Update the architectural RAT and free the old mapping.
+        if let Some(dest) = e.uop.dest {
+            let arat = if dest.fp {
+                &mut self.arat_fp
+            } else {
+                &mut self.arat_int
+            };
+            arat[dest.idx as usize] = e.phys_rd;
+            if e.dest_fp {
+                self.prf_fp.release(e.old_phys);
+            } else {
+                self.prf_int.release(e.old_phys);
+            }
+        }
+        // LSQ bookkeeping.
+        if e.lq_idx.is_some() {
+            self.lsu.commit_load(seq);
+            self.perf.loads += 1;
+        }
+        if e.sq_idx.is_some() {
+            self.perf.stores += 1;
+            let mmio = e.mem_info.map(|m| m.mmio).unwrap_or(false);
+            if mmio {
+                // Device store at commit (UART).
+                let m = e.mem_info.expect("mmio store has info");
+                if m.paddr == UART_TX {
+                    self.output.push(m.value as u8);
+                }
+                self.lsu.sq.retain(|s| s.seq != seq);
+            } else {
+                self.lsu
+                    .commit_store(seq, self.cycle, self.cfg.sbuffer_drain_delay);
+            }
+        }
+        // Branch training (at commit, if not already resolved).
+        if e.uop.inst.is_control_flow() {
+            if e.uop.inst.is_branch() {
+                self.perf.branches += 1;
+                if e.mispredicted {
+                    self.perf.branch_mispredicts += 1;
+                }
+            }
+            if !e.bpu_resolved {
+                if let Some(pred) = &e.uop.pred {
+                    self.bpu.resolve(
+                        e.uop.pc,
+                        &e.uop.inst,
+                        pred,
+                        e.actual_taken,
+                        e.actual_target,
+                        false,
+                    );
+                }
+            }
+            self.pubs_conf.update(e.uop.pc, e.mispredicted);
+        }
+        self.csr.set_fflags(e.fflags);
+        let arch_count = 1 + e.uop.fused.is_some() as u64;
+        if e.uop.fused.is_some() {
+            self.perf.fused_pairs += 1;
+        }
+        self.instret += arch_count;
+        self.perf.instret += arch_count;
+        self.perf.uops += 1;
+        self.csr.minstret = self.instret;
+        out.commits.push(CommitEvent {
+            hart: self.hart,
+            pc: e.uop.pc,
+            inst: e.uop.inst,
+            fused: e.uop.fused,
+            wb: e.uop.dest.map(|d| (d.fp, d.idx, e.wb_value)),
+            mem: e.mem_info,
+            trap: None,
+            sc_failed: e.sc_failed,
+            halted: false,
+            cycle: self.cycle,
+        });
+    }
+
+    fn take_exception(&mut self, cause: Exception, tval: u64, out: &mut CycleOutput) {
+        let head = self.rob.head().expect("exception at head");
+        let pc = head.uop.pc;
+        let inst = head.uop.inst;
+        self.perf.exceptions += 1;
+        let trap = Trap::Exception(cause, tval);
+        let handler = self.csr.take_trap(trap, pc);
+        out.commits.push(CommitEvent {
+            hart: self.hart,
+            pc,
+            inst,
+            fused: None,
+            wb: None,
+            mem: None,
+            trap: Some(trap),
+            sc_failed: false,
+            halted: false,
+            cycle: self.cycle,
+        });
+        self.flush_all(handler);
+        self.perf.flushes_system += 1;
+    }
+
+    /// Execute a serializing instruction at the commit point.
+    fn commit_system(&mut self, mem: &mut MemSystem, out: &mut CycleOutput) {
+        let head = self.rob.head().expect("system at head");
+        let seq = head.seq;
+        let uop = head.uop.clone();
+        let d = uop.inst;
+        let srcs: Vec<u64> = head
+            .phys_srcs
+            .iter()
+            .flatten()
+            .map(|&(fp, p)| self.read_src(fp, p))
+            .collect();
+        // Atomics get their own multi-cycle path.
+        if d.is_amo() || matches!(d.op, Op::LrW | Op::LrD | Op::ScW | Op::ScD) {
+            // Sources must be ready (they are: producers committed, but
+            // producers may still be in flight if younger commit widths
+            // allowed... they cannot be: commit is in order).
+            if !self.entry_ready_commit(seq) {
+                return;
+            }
+            self.commit_stall = CommitStall::AtomicDrain;
+            self.advance_atomic(mem, out);
+            return;
+        }
+        if !self.entry_ready_commit(seq) {
+            return; // CSR source operand still in flight
+        }
+        let next_pc = uop.fallthrough();
+        let mut wb: Option<(bool, u8, u64)> = None;
+        let mut redirect = next_pc;
+        match d.op {
+            Op::Csrrw | Op::Csrrs | Op::Csrrc | Op::Csrrwi | Op::Csrrsi | Op::Csrrci => {
+                let csrno = d.csr();
+                let src = if matches!(d.op, Op::Csrrwi | Op::Csrrsi | Op::Csrrci) {
+                    d.rs1 as u64
+                } else {
+                    srcs.first().copied().unwrap_or(0)
+                };
+                match self.csr.read(csrno) {
+                    Ok(old) => {
+                        let newv = match d.op {
+                            Op::Csrrw | Op::Csrrwi => Some(src),
+                            Op::Csrrs | Op::Csrrsi => (src != 0).then_some(old | src),
+                            _ => (src != 0).then_some(old & !src),
+                        };
+                        if let Some(v) = newv {
+                            if let Err(ex) = self.csr.write(csrno, v) {
+                                self.fault_head(ex, d.raw as u64, out);
+                                return;
+                            }
+                            if csrno == riscv_isa::csr::addr::SATP {
+                                self.mmu.flush();
+                            }
+                        }
+                        if let Some(dest) = uop.dest {
+                            self.write_dest_at_commit(seq, old);
+                            wb = Some((dest.fp, dest.idx, old));
+                        }
+                    }
+                    Err(ex) => {
+                        self.fault_head(ex, d.raw as u64, out);
+                        return;
+                    }
+                }
+            }
+            Op::Fence => {
+                // Fence semantics: committed stores reach the memory
+                // system before the fence retires.
+                if !self.lsu.sbuffer_empty() {
+                    return;
+                }
+            }
+            Op::Wfi => {}
+            Op::FenceI => {
+                mem.flush_l1i(self.hart);
+            }
+            Op::SfenceVma => {
+                if self.csr.privilege == Privilege::User
+                    || (self.csr.privilege == Privilege::Supervisor
+                        && self.csr.mstatus & riscv_isa::csr::mstatus::TVM != 0)
+                {
+                    self.fault_head(Exception::IllegalInstruction, d.raw as u64, out);
+                    return;
+                }
+                self.mmu.flush();
+            }
+            Op::Mret => match self.csr.mret() {
+                Ok(t) => redirect = t,
+                Err(ex) => {
+                    self.fault_head(ex, 0, out);
+                    return;
+                }
+            },
+            Op::Sret => match self.csr.sret() {
+                Ok(t) => redirect = t,
+                Err(ex) => {
+                    self.fault_head(ex, 0, out);
+                    return;
+                }
+            },
+            Op::Ecall => {
+                let cause = match self.csr.privilege {
+                    Privilege::User => Exception::EcallFromU,
+                    Privilege::Supervisor => Exception::EcallFromS,
+                    Privilege::Machine => Exception::EcallFromM,
+                };
+                self.fault_head(cause, 0, out);
+                return;
+            }
+            Op::Ebreak => {
+                // Halt only once every committed store reached the memory
+                // system (other harts may depend on them).
+                if !self.lsu.sbuffer_empty() {
+                    return;
+                }
+                let a0 = self.prf_int.read(self.arat_int[10]);
+                self.halted = Some(a0);
+                out.commits.push(CommitEvent {
+                    hart: self.hart,
+                    pc: uop.pc,
+                    inst: d,
+                    fused: None,
+                    wb: None,
+                    mem: None,
+                    trap: None,
+                    sc_failed: false,
+                    halted: true,
+                    cycle: self.cycle,
+                });
+                self.instret += 1;
+                self.perf.instret += 1;
+                self.rob.pop_head();
+                return;
+            }
+            other => panic!("unhandled commit-exec op {other:?}"),
+        }
+        // Retire the system op and flush younger (serialization).
+        let mut e = self.rob.pop_head().expect("head");
+        e.wb_value = wb.map(|w| w.2).unwrap_or(0);
+        e.state = RobState::Done;
+        if let Some(dest) = e.uop.dest {
+            let arat = if dest.fp {
+                &mut self.arat_fp
+            } else {
+                &mut self.arat_int
+            };
+            arat[dest.idx as usize] = e.phys_rd;
+            self.prf_int.release(e.old_phys);
+        }
+        self.instret += 1;
+        self.perf.instret += 1;
+        self.perf.uops += 1;
+        self.csr.minstret = self.instret;
+        out.commits.push(CommitEvent {
+            hart: self.hart,
+            pc: e.uop.pc,
+            inst: e.uop.inst,
+            fused: None,
+            wb,
+            mem: None,
+            trap: None,
+            sc_failed: false,
+            halted: false,
+            cycle: self.cycle,
+        });
+        self.perf.flushes_system += 1;
+        self.flush_all(redirect);
+    }
+
+    /// Record an exception on the ROB head (taken next commit call).
+    fn fault_head(&mut self, cause: Exception, tval: u64, out: &mut CycleOutput) {
+        let seq = self.rob.head().expect("head").seq;
+        if let Some(e) = self.rob.get_mut(seq) {
+            e.exception = Some((cause, tval));
+        }
+        // Take it immediately (same cycle) for simplicity.
+        self.take_exception(cause, tval, out);
+    }
+
+    fn entry_ready_commit(&self, seq: u64) -> bool {
+        let e = self.rob.get(seq).expect("entry");
+        e.phys_srcs
+            .iter()
+            .flatten()
+            .all(|&(fp, p)| self.src_ready(fp, p))
+    }
+
+    fn write_dest_at_commit(&mut self, seq: u64, value: u64) {
+        let e = self.rob.get_mut(seq).expect("entry");
+        e.wb_value = value;
+        let (fp, p, has) = (e.dest_fp, e.phys_rd, e.has_dest);
+        if has {
+            if fp {
+                self.prf_fp.write(p, value);
+            } else {
+                self.prf_int.write(p, value);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Atomics at commit (LR/SC/AMO).
+    // ------------------------------------------------------------------
+
+    fn advance_atomic(&mut self, mem: &mut MemSystem, out: &mut CycleOutput) {
+        let Some(head) = self.rob.head() else {
+            self.commit_stall = CommitStall::None;
+            return;
+        };
+        let seq = head.seq;
+        let d = head.uop.inst;
+        let addr = head
+            .phys_srcs
+            .first()
+            .copied()
+            .flatten()
+            .map(|(fp, p)| self.read_src(fp, p))
+            .unwrap_or(0);
+        let size = d.mem_size();
+        match self.commit_stall {
+            CommitStall::AtomicDrain => {
+                if !self.lsu.sbuffer_empty() {
+                    return; // wait for committed stores to reach memory
+                }
+                if addr % size != 0 {
+                    self.commit_stall = CommitStall::None;
+                    self.fault_head(Exception::StoreAddrMisaligned, addr, out);
+                    return;
+                }
+                // Translate (bare mode in practice for atomics tests).
+                let mut view = CoherentView(mem);
+                let pa = match self.mmu.translate(
+                    &mut view,
+                    &self.csr,
+                    addr,
+                    if matches!(d.op, Op::LrW | Op::LrD) {
+                        AccessType::Load
+                    } else {
+                        AccessType::Store
+                    },
+                ) {
+                    MmuResult::Done { pa, .. } => pa,
+                    MmuResult::Fault { cause, .. } => {
+                        self.commit_stall = CommitStall::None;
+                        self.fault_head(cause, addr, out);
+                        return;
+                    }
+                };
+                if matches!(d.op, Op::ScW | Op::ScD) {
+                    // Decide success now.
+                    let granule = pa & !(RESERVATION_GRANULE - 1);
+                    let timeout = self.cycle.saturating_sub(self.lr_cycle)
+                        > self.cfg.sc_timeout_cycles;
+                    let success = !self.force_sc_fail
+                        && !timeout
+                        && self.reservation == Some(granule);
+                    self.force_sc_fail = false;
+                    self.reservation = None;
+                    if success {
+                        let data = head
+                            .phys_srcs
+                            .get(1)
+                            .copied()
+                            .flatten()
+                            .map(|(fp, p)| self.read_src(fp, p))
+                            .unwrap_or(0);
+                        self.commit_stall = CommitStall::AtomicStorePending {
+                            old: 0,
+                            newv: data,
+                            pa,
+                            size,
+                        };
+                        self.advance_atomic(mem, out);
+                    } else {
+                        // Failed SC: rd = 1, no store.
+                        self.finish_atomic_inner(1, true, None);
+                    }
+                    return;
+                }
+                // LR / AMO: acquire the line exclusively and load.
+                let id = self.req_id(MemReqKind::AtomicLoad);
+                let req = CoreReq {
+                    core: self.hart,
+                    kind: AccessKind::LoadExclusive,
+                    addr: pa,
+                    size,
+                    data: 0,
+                    id,
+                };
+                if mem.submit_data(req) {
+                    self.commit_stall = CommitStall::AtomicLoad { pa };
+                    if matches!(d.op, Op::LrW | Op::LrD) {
+                        self.reservation = Some(pa & !(RESERVATION_GRANULE - 1));
+                        self.lr_cycle = self.cycle;
+                    }
+                } else {
+                    self.mem_inflight.remove(&id);
+                }
+            }
+            CommitStall::AtomicStorePending { old, newv, pa, size } => {
+                let id = self.req_id(MemReqKind::AtomicStore);
+                let req = CoreReq {
+                    core: self.hart,
+                    kind: AccessKind::Store,
+                    addr: pa,
+                    size,
+                    data: newv,
+                    id,
+                };
+                if mem.submit_data(req) {
+                    self.commit_stall = CommitStall::AtomicStore { old, pa, size, newv };
+                } else {
+                    self.mem_inflight.remove(&id);
+                }
+            }
+            CommitStall::AtomicLoad { .. } | CommitStall::AtomicStore { .. } => {
+                // Waiting on a completion; handled in
+                // handle_mem_completions via atomic_loaded/store_done.
+            }
+            CommitStall::None => {}
+        }
+        let _ = seq;
+    }
+
+    fn atomic_loaded(&mut self, mem: &mut MemSystem, raw: u64) {
+        let CommitStall::AtomicLoad { pa } = self.commit_stall else {
+            return;
+        };
+        let Some(head) = self.rob.head() else { return };
+        let d = head.uop.inst;
+        let old = load_extend(
+            if d.mem_size() == 4 { Op::Lw } else { Op::Ld },
+            raw,
+        );
+        if matches!(d.op, Op::LrW | Op::LrD) {
+            // LR completes here.
+            let mem_info = CommitMem {
+                vaddr: pa,
+                paddr: pa,
+                size: d.mem_size(),
+                is_store: false,
+                value: old,
+                mmio: false,
+            };
+            self.finish_atomic_inner(old, false, Some(mem_info));
+            return;
+        }
+        // AMO: compute the new value and store it back in the same cycle
+        // (the line is exclusive; the write is effectively atomic).
+        let src = head
+            .phys_srcs
+            .get(1)
+            .copied()
+            .flatten()
+            .map(|(fp, p)| self.read_src(fp, p))
+            .unwrap_or(0);
+        let newv = riscv_isa::exec::amo_compute(d.op, old, src);
+        let size = d.mem_size();
+        self.commit_stall = CommitStall::AtomicStorePending {
+            old,
+            newv,
+            pa,
+            size,
+        };
+        // Try immediately to minimize the exclusivity window.
+        let id = self.req_id(MemReqKind::AtomicStore);
+        let req = CoreReq {
+            core: self.hart,
+            kind: AccessKind::Store,
+            addr: pa,
+            size,
+            data: newv,
+            id,
+        };
+        if mem.submit_data(req) {
+            self.commit_stall = CommitStall::AtomicStore { old, pa, size, newv };
+        } else {
+            self.mem_inflight.remove(&id);
+        }
+    }
+
+    fn atomic_store_done(&mut self, old: u64) {
+        let mem_info = if let CommitStall::AtomicStore { pa, size, newv, .. } = self.commit_stall {
+            Some(CommitMem {
+                vaddr: pa,
+                paddr: pa,
+                size,
+                is_store: true,
+                value: newv,
+                mmio: false,
+            })
+        } else {
+            None
+        };
+        self.finish_atomic_inner(old, false, mem_info);
+    }
+
+    fn finish_atomic_inner(&mut self, value: u64, sc_failed: bool, mem_info: Option<CommitMem>) {
+        self.commit_stall = CommitStall::None;
+        let mut e = self.rob.pop_head().expect("atomic at head");
+        e.wb_value = value;
+        e.sc_failed = sc_failed;
+        if sc_failed {
+            self.perf.sc_failures += 1;
+        }
+        if let Some(dest) = e.uop.dest {
+            let p = e.phys_rd;
+            self.prf_int.write(p, value);
+            self.arat_int[dest.idx as usize] = p;
+            self.prf_int.release(e.old_phys);
+        }
+        self.instret += 1;
+        self.perf.instret += 1;
+        self.perf.uops += 1;
+        self.csr.minstret = self.instret;
+        self.deferred_commits.push(CommitEvent {
+            hart: self.hart,
+            pc: e.uop.pc,
+            inst: e.uop.inst,
+            fused: None,
+            wb: e.uop.dest.map(|d| (d.fp, d.idx, value)),
+            mem: mem_info,
+            trap: None,
+            sc_failed,
+            halted: false,
+            cycle: self.cycle,
+        });
+        // Serialize after atomics.
+        self.perf.flushes_system += 1;
+        self.flush_all(e.uop.fallthrough());
+    }
+
+    // ------------------------------------------------------------------
+    // Issue + LSU pipelines.
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self, mem: &mut MemSystem) {
+        let mut selected: Vec<(FuClass, Vec<u64>)> = Vec::new();
+        let mut ready_alu_total = 0usize;
+        // Borrow dance: collect per-queue selections first.
+        let mut picks: Vec<(usize, Vec<u64>, usize)> = Vec::new();
+        for qi in 0..self.iqs.len() {
+            let rob = &self.rob;
+            let prf_int = &self.prf_int;
+            let prf_fp = &self.prf_fp;
+            let (picked, ready) = self.iqs[qi].select(|seq| {
+                let Some(e) = rob.get(seq) else { return false };
+                if e.state != RobState::Waiting {
+                    return false;
+                }
+                e.phys_srcs.iter().flatten().all(|&(fp, p)| {
+                    if fp {
+                        prf_fp.is_ready(p)
+                    } else {
+                        prf_int.is_ready(p)
+                    }
+                })
+            });
+            picks.push((qi, picked, ready));
+        }
+        for (qi, picked, ready) in picks {
+            if self.iqs[qi].class == FuClass::Alu {
+                ready_alu_total += ready;
+            }
+            selected.push((self.iqs[qi].class, picked));
+        }
+        self.perf.record_ready(ready_alu_total);
+        for (class, seqs) in selected {
+            for seq in seqs {
+                if self.rob.get(seq).is_none() {
+                    continue;
+                }
+                self.rob.get_mut(seq).expect("entry").state = RobState::Issued;
+                match class {
+                    FuClass::Load => self.issue_load(mem, seq),
+                    FuClass::Store => self.issue_store(mem, seq),
+                    _ => {
+                        let lat = fu_latency(class, &self.rob.get(seq).expect("e").uop.inst);
+                        self.fu_pipe.push(FuInFlight {
+                            done_at: self.cycle + lat,
+                            seq,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue_load(&mut self, mem: &mut MemSystem, seq: u64) {
+        let e = self.rob.get(seq).expect("load entry");
+        let d = e.uop.inst;
+        let va = e
+            .phys_srcs
+            .first()
+            .copied()
+            .flatten()
+            .map(|(fp, p)| self.read_src(fp, p))
+            .unwrap_or(0)
+            .wrapping_add(d.imm as u64);
+        let size = d.mem_size();
+        // Translate.
+        let mut view = CoherentView(mem);
+        let (pa, tlat) = match self.mmu.translate(&mut view, &self.csr, va, AccessType::Load) {
+            MmuResult::Done { pa, latency } => (pa, latency),
+            MmuResult::Fault { cause, .. } => {
+                let e = self.rob.get_mut(seq).expect("e");
+                e.exception = Some((cause, va));
+                e.state = RobState::Done;
+                return;
+            }
+        };
+        // Record in the LQ.
+        if let Some(l) = self.lsu.lq.iter_mut().find(|l| l.seq == seq) {
+            l.paddr = Some(pa);
+            l.size = size;
+        }
+        let mem_info = CommitMem {
+            vaddr: va,
+            paddr: pa,
+            size,
+            is_store: false,
+            value: 0,
+            mmio: pa == MTIME || pa == UART_TX,
+        };
+        self.rob.get_mut(seq).expect("e").mem_info = Some(mem_info);
+        // MMIO loads resolve functionally.
+        if pa == MTIME {
+            let v = self.csr.time;
+            self.fu_finish_load_later(seq, v, 4 + tlat);
+            return;
+        }
+        if pa == UART_TX {
+            self.fu_finish_load_later(seq, 0, 4 + tlat);
+            return;
+        }
+        // Store-to-load forwarding.
+        match self.lsu.forward(seq, pa, size) {
+            ForwardResult::Forward(raw) => {
+                self.perf.load_forwards += 1;
+                let v = load_extend(d.op, raw);
+                self.fu_finish_load_later(seq, v, 2 + tlat);
+            }
+            ForwardResult::Stall => {
+                self.rob.get_mut(seq).expect("e").state = RobState::Waiting;
+                self.replay_q.push((self.cycle + 4, seq));
+            }
+            ForwardResult::None => {
+                // Line-crossing loads take a slow functional path.
+                if uncore::line_of(pa) != uncore::line_of(pa + size - 1) {
+                    let raw = mem.coherent_read(pa, size);
+                    let v = load_extend(d.op, raw);
+                    self.fu_finish_load_later(seq, v, 8 + tlat);
+                    return;
+                }
+                let id = self.req_id(MemReqKind::Load { seq });
+                let req = CoreReq {
+                    core: self.hart,
+                    kind: AccessKind::Load,
+                    addr: pa,
+                    size,
+                    data: 0,
+                    id,
+                };
+                if !mem.submit_data(req) {
+                    self.mem_inflight.remove(&id);
+                    self.rob.get_mut(seq).expect("e").state = RobState::Waiting;
+                    self.replay_q.push((self.cycle + 2, seq));
+                }
+            }
+        }
+    }
+
+    /// Finish a load after `lat` cycles with an already-known value.
+    fn fu_finish_load_later(&mut self, seq: u64, value: u64, lat: u64) {
+        // Store the value now; deliver at the right time via a small
+        // deferred list.
+        self.deferred_loads.push((self.cycle + lat.max(1), seq, value));
+    }
+
+    fn issue_store(&mut self, mem: &mut MemSystem, seq: u64) {
+        let e = self.rob.get(seq).expect("store entry");
+        let d = e.uop.inst;
+        let va = e
+            .phys_srcs
+            .first()
+            .copied()
+            .flatten()
+            .map(|(fp, p)| self.read_src(fp, p))
+            .unwrap_or(0)
+            .wrapping_add(d.imm as u64);
+        let data = e
+            .phys_srcs
+            .get(1)
+            .copied()
+            .flatten()
+            .map(|(fp, p)| self.read_src(fp, p))
+            .unwrap_or(0);
+        let size = d.mem_size();
+        let mut view = CoherentView(mem);
+        let pa = match self.mmu.translate(&mut view, &self.csr, va, AccessType::Store) {
+            MmuResult::Done { pa, .. } => pa,
+            MmuResult::Fault { cause, .. } => {
+                let e = self.rob.get_mut(seq).expect("e");
+                e.exception = Some((cause, va));
+                e.state = RobState::Done;
+                return;
+            }
+        };
+        let mmio = pa == UART_TX || pa == MTIME;
+        if let Some(s) = self.lsu.sq.iter_mut().find(|s| s.seq == seq) {
+            s.paddr = Some(pa);
+            s.data = Some(data);
+            s.size = size;
+            s.mmio = mmio;
+        }
+        let e = self.rob.get_mut(seq).expect("e");
+        e.mem_info = Some(CommitMem {
+            vaddr: va,
+            paddr: pa,
+            size,
+            is_store: true,
+            value: data,
+            mmio,
+        });
+        e.state = RobState::Done;
+        // Memory-order check: younger loads that already executed on an
+        // overlapping address must replay.
+        if let Some(viol) = self.lsu.order_violation(seq, pa, size) {
+            if let Some(le) = self.rob.get_mut(viol) {
+                le.replay_at_commit = true;
+            }
+        }
+    }
+
+    fn replay_loads(&mut self, mem: &mut MemSystem) {
+        let due: Vec<u64> = {
+            let cycle = self.cycle;
+            let mut d = Vec::new();
+            self.replay_q.retain(|&(at, seq)| {
+                if at <= cycle {
+                    d.push(seq);
+                    false
+                } else {
+                    true
+                }
+            });
+            d
+        };
+        for seq in due {
+            if self.rob.get(seq).is_none() {
+                continue;
+            }
+            self.rob.get_mut(seq).expect("e").state = RobState::Issued;
+            self.issue_load(mem, seq);
+        }
+        // Deliver deferred load values.
+        let cycle = self.cycle;
+        let mut ready = Vec::new();
+        self.deferred_loads.retain(|&(at, seq, v)| {
+            if at <= cycle {
+                ready.push((seq, v));
+                false
+            } else {
+                true
+            }
+        });
+        for (seq, v) in ready {
+            if self.rob.get(seq).is_some() {
+                self.finish_load(seq, v);
+            }
+        }
+        // Deliver deferred commit events is handled by tick's caller.
+    }
+
+    // ------------------------------------------------------------------
+    // Rename/dispatch.
+    // ------------------------------------------------------------------
+
+    fn rename_dispatch(&mut self) {
+        for _ in 0..self.cfg.decode_width {
+            let Some(front) = self.ibuf.front() else { break };
+            if self.rob.is_full() {
+                self.perf.rob_full_cycles += 1;
+                break;
+            }
+            // Fetch fault pseudo-op: becomes an exception-carrying entry.
+            if let Some((cause, tval)) = front.fault {
+                let pu = self.ibuf.pop_front().expect("front");
+                let uop = Uop::new(pu.pc, pu.inst, None, pu.npc);
+                let seq = self.rob.push(uop);
+                let e = self.rob.get_mut(seq).expect("e");
+                e.exception = Some((cause, tval));
+                e.state = RobState::Done;
+                break;
+            }
+            // Try fusion with the next entry.
+            let mut fused: Option<Uop> = None;
+            if self.cfg.fusion && self.ibuf.len() >= 2 {
+                let a = &self.ibuf[0];
+                let b = &self.ibuf[1];
+                if a.pred.is_none()
+                    && b.pred.is_none()
+                    && b.fault.is_none()
+                    && b.pc == a.pc + a.inst.len as u64
+                    && try_fuse(&a.inst, &b.inst)
+                {
+                    fused = Some(fuse(a.pc, a.inst, b.inst, b.npc));
+                }
+            }
+            let uop = if let Some(f) = fused {
+                self.ibuf.pop_front();
+                self.ibuf.pop_front();
+                f
+            } else {
+                let pu = self.ibuf.pop_front().expect("front");
+                let mut u = Uop::new(pu.pc, pu.inst, pu.pred.clone(), pu.npc);
+                u.pred = pu.pred;
+                u
+            };
+            if !self.try_rename_one(uop) {
+                break;
+            }
+        }
+    }
+
+    /// Rename and dispatch one uop. Returns false when a structural
+    /// hazard requires stalling (uop is pushed back to the ibuf).
+    fn try_rename_one(&mut self, uop: Uop) -> bool {
+        let d = uop.inst;
+        let is_load = d.is_load() && !matches!(d.op, Op::LrW | Op::LrD);
+        let is_store = d.is_store() && !d.is_amo() && !matches!(d.op, Op::ScW | Op::ScD);
+        let commit_exec = d.is_system()
+            || d.is_amo()
+            || matches!(d.op, Op::LrW | Op::LrD | Op::ScW | Op::ScD | Op::Illegal);
+        // Structural checks.
+        if is_load && self.lsu.lq_full() || is_store && self.lsu.sq_full() {
+            self.push_back(uop);
+            return false;
+        }
+        let class = d.fu_class();
+        let qi = self.queue_for(class, &uop);
+        if !commit_exec && self.iqs[qi].is_full() {
+            self.push_back(uop);
+            return false;
+        }
+        // Move elimination.
+        let move_elim = self.cfg.move_elimination && uop.is_reg_move();
+        let needs_alloc = uop.dest.is_some() && !move_elim;
+        if needs_alloc {
+            let fp = uop.dest.expect("dest").fp;
+            let free = if fp {
+                self.prf_fp.free_count()
+            } else {
+                self.prf_int.free_count()
+            };
+            if free == 0 {
+                self.push_back(uop);
+                return false;
+            }
+        }
+        // Map sources.
+        let mut phys_srcs: [Option<(bool, PReg)>; 3] = [None; 3];
+        for (i, s) in uop.srcs.iter().enumerate() {
+            if let Some(s) = s {
+                let p = if s.fp {
+                    self.rat_fp[s.idx as usize]
+                } else {
+                    self.rat_int[s.idx as usize]
+                };
+                phys_srcs[i] = Some((s.fp, p));
+            }
+        }
+        let is_cf = d.is_control_flow();
+        let pc = uop.pc;
+        let dest = uop.dest;
+        let fused = uop.fused.is_some();
+        let move_src = move_elim.then(|| uop.move_src());
+        let raw = d.raw;
+        let seq = self.rob.push(uop);
+        self.perf.dispatched += 1;
+        let e = self.rob.get_mut(seq).expect("just pushed");
+        e.phys_srcs = phys_srcs;
+        e.commit_exec = commit_exec;
+        if d.op == Op::Illegal {
+            e.exception = Some((Exception::IllegalInstruction, raw as u64));
+            e.state = RobState::Done;
+        }
+        // Destination renaming.
+        if let Some(dest) = dest {
+            let old = if dest.fp {
+                self.rat_fp[dest.idx as usize]
+            } else {
+                self.rat_int[dest.idx as usize]
+            };
+            if move_elim {
+                let src = move_src.expect("move source");
+                let shared = self.rat_int[src as usize];
+                self.prf_int.addref(shared);
+                self.rat_int[dest.idx as usize] = shared;
+                let e = self.rob.get_mut(seq).expect("e");
+                e.phys_rd = shared;
+                e.old_phys = old;
+                e.has_dest = true;
+                e.dest_fp = false;
+                e.eliminated = true;
+                e.state = RobState::Done;
+                self.perf.moves_eliminated += 1;
+            } else {
+                let p = if dest.fp {
+                    self.prf_fp.alloc().expect("checked free")
+                } else {
+                    self.prf_int.alloc().expect("checked free")
+                };
+                if dest.fp {
+                    self.rat_fp[dest.idx as usize] = p;
+                } else {
+                    self.rat_int[dest.idx as usize] = p;
+                }
+                let e = self.rob.get_mut(seq).expect("e");
+                e.phys_rd = p;
+                e.old_phys = old;
+                e.has_dest = true;
+                e.dest_fp = dest.fp;
+            }
+        }
+        // Control-flow snapshot (after renaming own dest).
+        if is_cf {
+            let snap = Box::new((self.rat_int, self.rat_fp));
+            self.rob.get_mut(seq).expect("e").rat_snapshot = Some(snap);
+        }
+        // LSQ allocation.
+        if is_load {
+            let li = self.lsu.alloc_load(seq, d.mem_size());
+            self.rob.get_mut(seq).expect("e").lq_idx = Some(li);
+        }
+        if is_store {
+            let si = self.lsu.alloc_store(seq, d.mem_size());
+            self.rob.get_mut(seq).expect("e").sq_idx = Some(si);
+        }
+        // PUBS marking.
+        let mut high_priority = false;
+        if self.cfg.issue_policy == IssuePolicy::Pubs && is_cf && d.is_branch() {
+            if self.pubs_conf.unconfident(pc) {
+                high_priority = true;
+                // Mark in-flight producers of the branch's operands.
+                let producers: Vec<u64> = [d.rs1, d.rs2]
+                    .iter()
+                    .map(|&r| self.pubs_def.producer_of(r))
+                    .filter(|&s| s != 0)
+                    .collect();
+                for pseq in producers {
+                    if let Some(pe) = self.rob.get_mut(pseq) {
+                        pe.high_priority = true;
+                    }
+                    for iq in &mut self.iqs {
+                        iq.mark_high_priority(pseq);
+                    }
+                }
+            }
+        }
+        if let Some(dest) = dest {
+            if !dest.fp {
+                self.pubs_def.define(dest.idx, seq);
+            }
+        }
+        if high_priority {
+            self.rob.get_mut(seq).expect("e").high_priority = true;
+        }
+        if high_priority {
+            self.perf.high_priority_dispatched += 1;
+        }
+        // Dispatch.
+        let eliminated = self.rob.get(seq).expect("e").eliminated;
+        if !commit_exec && !eliminated {
+            self.iqs[qi].dispatch(seq, high_priority);
+        }
+        let _ = fused;
+        true
+    }
+
+    fn push_back(&mut self, uop: Uop) {
+        // Re-split a fused uop is unnecessary: push a PreUop equivalent.
+        let (a, b) = (uop.inst, uop.fused);
+        if let Some(b) = b {
+            self.ibuf.push_front(PreUop {
+                pc: uop.pc + a.len as u64,
+                inst: b,
+                pred: None,
+                npc: uop.predicted_npc,
+                fault: None,
+            });
+        }
+        self.ibuf.push_front(PreUop {
+            pc: uop.pc,
+            inst: a,
+            pred: uop.pred,
+            npc: if b.is_some() {
+                uop.pc + a.len as u64
+            } else {
+                uop.predicted_npc
+            },
+            fault: None,
+        });
+    }
+
+    fn queue_for(&self, class: FuClass, uop: &Uop) -> usize {
+        match class {
+            FuClass::Alu | FuClass::Bru => (uop.pc >> 2) as usize % 2,
+            FuClass::Mdu => 2,
+            FuClass::Store => 3,
+            FuClass::Load => 4,
+            FuClass::Fma => 5,
+            FuClass::Fmisc => 6,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch + predecode.
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self, mem: &mut MemSystem) {
+        if self.pending_fetch.is_some()
+            || self.fetch_fault_pending
+            || self.cycle < self.fetch_stall_until
+            || self.ibuf.len() >= 48
+        {
+            return;
+        }
+        let pc = self.fetch_pc;
+        let mut view = CoherentView(mem);
+        let pa = match self.mmu.translate(&mut view, &self.csr, pc, AccessType::Fetch) {
+            MmuResult::Done { pa, latency } => {
+                if latency > 0 {
+                    self.fetch_stall_until = self.cycle + latency;
+                }
+                pa
+            }
+            MmuResult::Fault { cause, .. } => {
+                self.ibuf.push_back(PreUop {
+                    pc,
+                    inst: DecodedInst::default(),
+                    pred: None,
+                    npc: pc,
+                    fault: Some((cause, pc)),
+                });
+                self.fetch_fault_pending = true;
+                return;
+            }
+        };
+        let block = pa & !31;
+        let id = ((self.hart as u64) << 48) | 0x8000_0000_0000 | self.next_req;
+        self.next_req += 1;
+        if mem.submit_fetch(self.hart, block, id) {
+            self.pending_fetch = Some((id, pc, self.fetch_epoch));
+        }
+    }
+
+    fn predecode(&mut self, start_pc: u64, block: [u8; 32]) {
+        let block_base = start_pc & !31;
+        let mut pc = start_pc;
+        let mut count = 0;
+        // Combine with a previous partial 4-byte instruction.
+        if let Some((ppc, low)) = self.partial_fetch.take() {
+            let hi = u16::from_le_bytes([block[0], block[1]]) as u32;
+            let raw = (hi << 16) | low as u32;
+            let inst = riscv_isa::decode32(raw);
+            if self.push_predecoded(ppc, inst) {
+                return; // taken branch redirected fetch
+            }
+            pc = ppc + 4;
+            count += 1;
+        }
+        while count < 8 && pc >= block_base && pc < block_base + 32 {
+            let off = (pc - block_base) as usize;
+            // pc is 2-byte aligned, so off <= 30 and off + 1 is in range.
+            let low = u16::from_le_bytes([block[off], block[off + 1]]);
+            let is32 = low & 3 == 3;
+            if is32 && off + 4 > 32 {
+                // Spans the block: save the low half.
+                self.partial_fetch = Some((pc, low));
+                self.fetch_pc = block_base + 32;
+                return;
+            }
+            let inst = if is32 {
+                let raw = u32::from_le_bytes([
+                    block[off],
+                    block[off + 1],
+                    block[off + 2],
+                    block[off + 3],
+                ]);
+                riscv_isa::decode32(raw)
+            } else {
+                riscv_isa::decode16(low)
+            };
+            let ilen = inst.len as u64;
+            if self.push_predecoded(pc, inst) {
+                return;
+            }
+            pc += ilen;
+            count += 1;
+        }
+        self.fetch_pc = pc;
+    }
+
+    /// Push one predecoded instruction; returns true when a predicted-
+    /// taken control flow redirected fetch (ending the block).
+    fn push_predecoded(&mut self, pc: u64, inst: DecodedInst) -> bool {
+        if cf_kind(&inst).is_some() {
+            let pred = self.bpu.predict(pc, &inst);
+            let npc = if pred.taken {
+                pred.target
+            } else {
+                pc + inst.len as u64
+            };
+            let taken = pred.taken;
+            let ubtb_hit = pred.ubtb_hit;
+            self.ibuf.push_back(PreUop {
+                pc,
+                inst,
+                pred: Some(pred),
+                npc,
+                fault: None,
+            });
+            if taken {
+                self.fetch_pc = npc;
+                if !ubtb_hit {
+                    self.fetch_stall_until = self.cycle + 2;
+                }
+                return true;
+            }
+            false
+        } else {
+            self.ibuf.push_back(PreUop {
+                pc,
+                inst,
+                pred: None,
+                npc: pc + inst.len as u64,
+                fault: None,
+            });
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Store buffer drain.
+    // ------------------------------------------------------------------
+
+    fn drain_sbuffer(&mut self, mem: &mut MemSystem) {
+        let cycle = self.cycle;
+        let Some(head) = self.lsu.sbuffer.front() else {
+            return;
+        };
+        if head.issued || head.drain_at > cycle {
+            return;
+        }
+        let (paddr, size, data) = (head.paddr, head.size, head.data);
+        let id = self.req_id(MemReqKind::SbufferDrain);
+        let req = CoreReq {
+            core: self.hart,
+            kind: AccessKind::Store,
+            addr: paddr,
+            size,
+            data,
+            id,
+        };
+        if mem.submit_data(req) {
+            self.lsu.sbuffer.front_mut().expect("head").issued = true;
+        } else {
+            self.mem_inflight.remove(&id);
+        }
+    }
+}
+
+impl Core {
+    /// Fault injection for verification demos (the paper's artifact
+    /// "intentionally injects a fault into XiangShan"): XOR a mask into
+    /// the current architectural value of an integer register. The next
+    /// consumer commits a wrong value, which DiffTest must catch.
+    pub fn inject_fault_gpr(&mut self, reg: u8, xor_mask: u64) {
+        if reg == 0 {
+            return;
+        }
+        let p = self.rat_int[reg as usize];
+        let v = self.prf_int.read(p);
+        self.prf_int.write(p, v ^ xor_mask);
+        let ap = self.arat_int[reg as usize];
+        if ap != p {
+            let av = self.prf_int.read(ap);
+            self.prf_int.write(ap, av ^ xor_mask);
+        }
+    }
+
+    /// Diagnostic view of the ROB head and pipeline state.
+    pub fn debug_head(&self) -> String {
+        let head = self.rob.head().map(|e| {
+            format!(
+                "seq {} pc {:#x} {:?} state {:?} lq {:?} sq {:?} replay {}",
+                e.seq, e.uop.pc, e.uop.inst.op, e.state, e.lq_idx, e.sq_idx, e.replay_at_commit
+            )
+        });
+        format!(
+            "head={head:?} rob={} iqs={:?} fu={} inflight={} replayq={} stall={:?} sbuf={} ibuf={} pend_fetch={}",
+            self.rob.len(),
+            self.iqs.iter().map(|q| q.len()).collect::<Vec<_>>(),
+            self.fu_pipe.len(),
+            self.mem_inflight.len(),
+            self.replay_q.len(),
+            self.commit_stall,
+            self.lsu.sbuffer.len(),
+            self.ibuf.len(),
+            self.pending_fetch.is_some(),
+        )
+    }
+
+    /// Observe another hart's store entering the shared memory (clears a
+    /// matching LR reservation, like a remote write invalidating the
+    /// reservation set).
+    pub fn snoop_remote_store(&mut self, paddr: u64, size: u64) {
+        if let Some(g) = self.reservation {
+            let start = paddr & !(RESERVATION_GRANULE - 1);
+            let end = (paddr + size - 1) & !(RESERVATION_GRANULE - 1);
+            if g == start || g == end {
+                self.reservation = None;
+            }
+        }
+    }
+}
+
+#[inline]
+fn has_imm_operand(op: Op) -> bool {
+    use Op::*;
+    matches!(
+        op,
+        Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai | Addiw | Slliw | Srliw
+            | Sraiw | Rori | Roriw | SlliUw
+    )
+}
+
+fn fu_latency(class: FuClass, d: &DecodedInst) -> u64 {
+    use Op::*;
+    match class {
+        FuClass::Alu | FuClass::Bru => 1,
+        FuClass::Mdu => match d.op {
+            Mul | Mulh | Mulhsu | Mulhu | Mulw => 3,
+            _ => 20, // divide
+        },
+        FuClass::Fma => 5, // cascade FMA (paper §IV-A)
+        FuClass::Fmisc => match d.op {
+            FdivS | FdivD => 12,
+            FsqrtS | FsqrtD => 14,
+            _ => 3,
+        },
+        FuClass::Load | FuClass::Store => 1,
+    }
+}

@@ -1,0 +1,286 @@
+//! Distributed issue queues with the AGE baseline policy and PUBS
+//! (Prioritizing Unconfident Branch Slices, paper §IV-D).
+//!
+//! PUBS components per the original paper [Ando, MICRO'18] as summarized
+//! in §IV-D2: a confidence estimation table (`ConfTable`), a branch slice
+//! table (`BrSliceTable`) + define table (`DefTable`) that propagate
+//! "this instruction feeds an unconfident branch" backwards through
+//! producers, and a prioritized select (`PriorityIssue`).
+
+use crate::config::IssuePolicy;
+use riscv_isa::op::FuClass;
+
+/// One issue-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IqEntry {
+    /// ROB sequence number (age).
+    pub seq: u64,
+    /// PUBS high-priority mark.
+    pub high_priority: bool,
+}
+
+/// A single distributed issue queue.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    /// FU class served.
+    pub class: FuClass,
+    /// Maximum instructions selected per cycle.
+    pub width: usize,
+    capacity: usize,
+    entries: Vec<IqEntry>,
+    policy: IssuePolicy,
+}
+
+impl IssueQueue {
+    /// Create a queue.
+    pub fn new(class: FuClass, capacity: usize, width: usize, policy: IssuePolicy) -> Self {
+        IssueQueue {
+            class,
+            width,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            policy,
+        }
+    }
+
+    /// True when no entry can be dispatched this cycle.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a dispatched uop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full.
+    pub fn dispatch(&mut self, seq: u64, high_priority: bool) {
+        assert!(!self.is_full(), "issue queue overflow");
+        self.entries.push(IqEntry { seq, high_priority });
+    }
+
+    /// Select up to `width` ready entries and remove them.
+    ///
+    /// `ready` reports whether an entry's operands are available. Returns
+    /// the selected sequence numbers and the number of entries that were
+    /// ready before selection (the Fig. 15 statistic).
+    pub fn select(&mut self, mut ready: impl FnMut(u64) -> bool) -> (Vec<u64>, usize) {
+        let mut candidates: Vec<IqEntry> = self
+            .entries
+            .iter()
+            .copied()
+            .filter(|e| ready(e.seq))
+            .collect();
+        let ready_count = candidates.len();
+        match self.policy {
+            IssuePolicy::Age => candidates.sort_by_key(|e| e.seq),
+            IssuePolicy::Pubs => {
+                // PriorityIssue: unconfident-branch-slice entries first,
+                // age breaking ties (and ordering within each class).
+                candidates.sort_by_key(|e| (!e.high_priority, e.seq));
+            }
+        }
+        let picked: Vec<u64> = candidates
+            .iter()
+            .take(self.width)
+            .map(|e| e.seq)
+            .collect();
+        self.entries.retain(|e| !picked.contains(&e.seq));
+        (picked, ready_count)
+    }
+
+    /// Remove entries younger than `seq` (flush).
+    pub fn flush_after(&mut self, seq: u64) {
+        self.entries.retain(|e| e.seq <= seq);
+    }
+
+    /// Remove everything.
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Raise the priority of a specific in-flight entry (PUBS back-
+    /// propagation marks producers after dispatch).
+    pub fn mark_high_priority(&mut self, seq: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            e.high_priority = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PUBS tables.
+// ---------------------------------------------------------------------
+
+/// Branch confidence estimation table (PUBS `ConfTable`): a table of
+/// resetting counters — a branch is *confident* once it has been
+/// predicted correctly `threshold` times in a row.
+#[derive(Debug, Clone)]
+pub struct ConfTable {
+    counters: Vec<u8>,
+    threshold: u8,
+}
+
+impl ConfTable {
+    /// Create a table with `entries` counters (power of two).
+    pub fn new(entries: usize, threshold: u8) -> Self {
+        ConfTable {
+            counters: vec![0; entries.next_power_of_two()],
+            threshold,
+        }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        ((pc >> 1) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Is the branch at `pc` low-confidence?
+    pub fn unconfident(&self, pc: u64) -> bool {
+        self.counters[self.idx(pc)] < self.threshold
+    }
+
+    /// Train on a resolved branch.
+    pub fn update(&mut self, pc: u64, mispredicted: bool) {
+        let i = self.idx(pc);
+        if mispredicted {
+            self.counters[i] = 0;
+        } else {
+            self.counters[i] = (self.counters[i] + 1).min(self.threshold);
+        }
+    }
+}
+
+/// PUBS define/branch-slice tracking at rename time.
+///
+/// `DefTable` maps each architectural register to the sequence number of
+/// its most recent producer; when an unconfident branch renames, its
+/// operand producers (and transitively *their* producers, one level per
+/// rename pass, which converges quickly in practice) are marked
+/// high-priority via the issue queues.
+#[derive(Debug, Clone, Default)]
+pub struct DefTable {
+    producer: [u64; 32],
+}
+
+impl DefTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `seq` produces architectural register `rd`.
+    pub fn define(&mut self, rd: u8, seq: u64) {
+        if rd != 0 {
+            self.producer[rd as usize] = seq;
+        }
+    }
+
+    /// The most recent producer of `rs` (0 = none in flight).
+    pub fn producer_of(&self, rs: u8) -> u64 {
+        self.producer[rs as usize]
+    }
+
+    /// Forget everything (flush).
+    pub fn clear(&mut self) {
+        self.producer = [0; 32];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(policy: IssuePolicy) -> IssueQueue {
+        IssueQueue::new(FuClass::Alu, 8, 2, policy)
+    }
+
+    #[test]
+    fn age_policy_prefers_oldest() {
+        let mut iq = q(IssuePolicy::Age);
+        iq.dispatch(5, true);
+        iq.dispatch(3, false);
+        iq.dispatch(9, false);
+        let (picked, ready) = iq.select(|_| true);
+        assert_eq!(picked, vec![3, 5]);
+        assert_eq!(ready, 3);
+        assert_eq!(iq.len(), 1);
+    }
+
+    #[test]
+    fn pubs_policy_prefers_marked_entries() {
+        let mut iq = q(IssuePolicy::Pubs);
+        iq.dispatch(3, false);
+        iq.dispatch(5, false);
+        iq.dispatch(9, true);
+        let (picked, _) = iq.select(|_| true);
+        assert_eq!(picked, vec![9, 3], "priority first, then age");
+    }
+
+    #[test]
+    fn only_ready_entries_are_selected() {
+        let mut iq = q(IssuePolicy::Age);
+        iq.dispatch(1, false);
+        iq.dispatch(2, false);
+        let (picked, ready) = iq.select(|seq| seq == 2);
+        assert_eq!(picked, vec![2]);
+        assert_eq!(ready, 1);
+        assert_eq!(iq.len(), 1);
+    }
+
+    #[test]
+    fn flush_removes_younger() {
+        let mut iq = q(IssuePolicy::Age);
+        for s in 1..=5 {
+            iq.dispatch(s, false);
+        }
+        iq.flush_after(2);
+        assert_eq!(iq.len(), 2);
+        let (picked, _) = iq.select(|_| true);
+        assert_eq!(picked, vec![1, 2]);
+    }
+
+    #[test]
+    fn late_priority_marking() {
+        let mut iq = q(IssuePolicy::Pubs);
+        iq.dispatch(1, false);
+        iq.dispatch(2, false);
+        iq.mark_high_priority(2);
+        let (picked, _) = iq.select(|_| true);
+        assert_eq!(picked[0], 2);
+    }
+
+    #[test]
+    fn conf_table_learns_confidence() {
+        let mut ct = ConfTable::new(64, 3);
+        let pc = 0x1000;
+        assert!(ct.unconfident(pc), "cold branches are unconfident");
+        for _ in 0..3 {
+            ct.update(pc, false);
+        }
+        assert!(!ct.unconfident(pc));
+        ct.update(pc, true); // one mispredict resets
+        assert!(ct.unconfident(pc));
+    }
+
+    #[test]
+    fn def_table_tracks_producers() {
+        let mut dt = DefTable::new();
+        dt.define(5, 100);
+        dt.define(0, 101); // x0 never recorded
+        assert_eq!(dt.producer_of(5), 100);
+        assert_eq!(dt.producer_of(0), 0);
+        dt.define(5, 102);
+        assert_eq!(dt.producer_of(5), 102);
+        dt.clear();
+        assert_eq!(dt.producer_of(5), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! A cycle-level model of XIANGSHAN, the superscalar out-of-order RISC-V
+//! processor of the paper (§IV) — the DUT of this reproduction.
+//!
+//! The model implements the Fig. 10 micro-architecture at stage
+//! granularity: a decoupled BPU (uBTB / BTB / TAGE-SC / ITTAGE / RAS) in
+//! front of the IFU, 6-wide decode with macro-op fusion, rename with
+//! reference-counted move elimination, a 192/256-entry ROB, distributed
+//! issue queues with the AGE or PUBS policy, ALU/MDU/FMA/FMISC pipelines,
+//! a load/store unit with store-to-load forwarding, memory-order
+//! violation recovery and a lazily draining store buffer, two-level TLBs
+//! with a timed page walker, and the coherent cache hierarchy from the
+//! `uncore` crate. Both tape-out parameter sets of Table II are provided
+//! as presets ([`XsConfig::yqh`], [`XsConfig::nh`]).
+//!
+//! # Example
+//!
+//! ```
+//! use riscv_isa::asm::{reg::*, Asm};
+//! use xscore::{XsConfig, XsSystem};
+//!
+//! let mut a = Asm::new(0x8000_0000);
+//! a.li(A0, 42);
+//! a.ebreak();
+//! let program = a.assemble();
+//!
+//! let mut sys = XsSystem::new(XsConfig::yqh(), &program);
+//! assert_eq!(sys.run(100_000), Some(42));
+//! ```
+
+pub mod bpu;
+pub mod config;
+pub mod core;
+pub mod issue;
+pub mod lsu;
+pub mod perf;
+pub mod prf;
+pub mod rob;
+pub mod system;
+pub mod tage;
+pub mod tlbs;
+pub mod uop;
+
+pub use config::{IssuePolicy, MemoryModel, XsConfig};
+pub use core::{Core, CycleOutput};
+pub use perf::PerfCounters;
+pub use system::XsSystem;
+pub use uop::{CommitEvent, CommitMem, SbufferDrainEvent};

@@ -1,0 +1,392 @@
+//! Load queue, store queue, and the store buffer.
+//!
+//! The store buffer holds *committed* stores draining lazily into the L1D
+//! — the structure behind two paper scenarios: store-to-load forwarding
+//! under RVWMO (§III-B2b) and the stale-PTE window of Fig. 3 (the PTW
+//! does not snoop the store buffer).
+
+use std::collections::VecDeque;
+
+/// A load-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct LqEntry {
+    /// Owning ROB sequence number.
+    pub seq: u64,
+    /// Physical address once translated.
+    pub paddr: Option<u64>,
+    /// Access size.
+    pub size: u64,
+    /// The load has produced its value.
+    pub done: bool,
+}
+
+/// A store-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct SqEntry {
+    /// Owning ROB sequence number.
+    pub seq: u64,
+    /// Physical address once the address uop executed.
+    pub paddr: Option<u64>,
+    /// Access size.
+    pub size: u64,
+    /// Store data once the data uop executed.
+    pub data: Option<u64>,
+    /// Committed (awaiting move to the store buffer).
+    pub committed: bool,
+    /// MMIO store (drains specially).
+    pub mmio: bool,
+}
+
+/// A committed store waiting in the store buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct SbufferEntry {
+    /// Physical address.
+    pub paddr: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Data.
+    pub data: u64,
+    /// Earliest cycle this entry may drain.
+    pub drain_at: u64,
+    /// In flight to the L1D.
+    pub issued: bool,
+    /// MMIO store.
+    pub mmio: bool,
+}
+
+/// Result of scanning stores for a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// No older store overlaps: go to the cache.
+    None,
+    /// Fully forwarded value.
+    Forward(u64),
+    /// An older store overlaps partially or its data/address is not ready
+    /// yet: the load must retry later.
+    Stall,
+}
+
+/// The load/store unit state.
+#[derive(Debug, Clone)]
+pub struct Lsu {
+    /// Load queue.
+    pub lq: Vec<LqEntry>,
+    /// Store queue.
+    pub sq: Vec<SqEntry>,
+    /// Store buffer (committed stores).
+    pub sbuffer: VecDeque<SbufferEntry>,
+    lq_cap: usize,
+    sq_cap: usize,
+    sbuffer_cap: usize,
+}
+
+impl Lsu {
+    /// Create an LSU with the given queue capacities.
+    pub fn new(lq_cap: usize, sq_cap: usize, sbuffer_cap: usize) -> Self {
+        Lsu {
+            lq: Vec::with_capacity(lq_cap),
+            sq: Vec::with_capacity(sq_cap),
+            sbuffer: VecDeque::with_capacity(sbuffer_cap),
+            lq_cap,
+            sq_cap,
+            sbuffer_cap,
+        }
+    }
+
+    /// Can another load be renamed?
+    pub fn lq_full(&self) -> bool {
+        self.lq.len() >= self.lq_cap
+    }
+
+    /// Can another store be renamed?
+    pub fn sq_full(&self) -> bool {
+        self.sq.len() >= self.sq_cap
+    }
+
+    /// Is the store buffer full (blocks store commit)?
+    pub fn sbuffer_full(&self) -> bool {
+        self.sbuffer.len() >= self.sbuffer_cap
+    }
+
+    /// Allocate a load-queue slot.
+    pub fn alloc_load(&mut self, seq: u64, size: u64) -> usize {
+        debug_assert!(!self.lq_full());
+        self.lq.push(LqEntry {
+            seq,
+            paddr: None,
+            size,
+            done: false,
+        });
+        self.lq.len() - 1
+    }
+
+    /// Allocate a store-queue slot.
+    pub fn alloc_store(&mut self, seq: u64, size: u64) -> usize {
+        debug_assert!(!self.sq_full());
+        self.sq.push(SqEntry {
+            seq,
+            paddr: None,
+            size,
+            data: None,
+            committed: false,
+            mmio: false,
+        });
+        self.sq.len() - 1
+    }
+
+    /// Scan older stores (SQ then store buffer) for a load at
+    /// `paddr`/`size` belonging to `seq`.
+    ///
+    /// Under RVWMO the load may take its value from the youngest older
+    /// matching store ("bypass from the private store buffer") — the
+    /// behavior DiffTest's global-memory diff-rule legitimizes.
+    pub fn forward(&self, seq: u64, paddr: u64, size: u64) -> ForwardResult {
+        let load_end = paddr + size;
+        // Youngest older SQ store first.
+        for e in self.sq.iter().rev() {
+            if e.seq >= seq {
+                continue;
+            }
+            match e.paddr {
+                None => {
+                    // Unknown address: speculate past it; the memory-order
+                    // check at store execution catches real conflicts.
+                    continue;
+                }
+                Some(sp) => {
+                    let send = sp + e.size;
+                    if sp >= load_end || send <= paddr {
+                        continue; // disjoint
+                    }
+                    if sp <= paddr && send >= load_end {
+                        match e.data {
+                            Some(d) => {
+                                let shift = (paddr - sp) * 8;
+                                let v = d >> shift;
+                                let mask = if size == 8 { u64::MAX } else { (1 << (size * 8)) - 1 };
+                                return ForwardResult::Forward(v & mask);
+                            }
+                            None => return ForwardResult::Stall,
+                        }
+                    }
+                    return ForwardResult::Stall; // partial overlap
+                }
+            }
+        }
+        // Store buffer (committed, not yet drained), youngest first.
+        for e in self.sbuffer.iter().rev() {
+            let send = e.paddr + e.size;
+            if e.paddr >= load_end || send <= paddr {
+                continue;
+            }
+            if e.paddr <= paddr && send >= load_end {
+                let shift = (paddr - e.paddr) * 8;
+                let mask = if size == 8 { u64::MAX } else { (1 << (size * 8)) - 1 };
+                return ForwardResult::Forward((e.data >> shift) & mask);
+            }
+            return ForwardResult::Stall;
+        }
+        ForwardResult::None
+    }
+
+    /// A store just resolved its address: find younger loads that already
+    /// executed with an overlapping address (memory-order violation).
+    /// Returns the oldest violating load's sequence number.
+    pub fn order_violation(&self, store_seq: u64, paddr: u64, size: u64) -> Option<u64> {
+        let send = paddr + size;
+        self.lq
+            .iter()
+            .filter(|l| l.seq > store_seq)
+            .filter(|l| {
+                l.paddr.is_some_and(|lp| {
+                    let lend = lp + l.size;
+                    lp < send && lend > paddr
+                })
+            })
+            .map(|l| l.seq)
+            .min()
+    }
+
+    /// Move the committed store `seq` from the SQ into the store buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is missing or incomplete.
+    pub fn commit_store(&mut self, seq: u64, now: u64, drain_delay: u64) {
+        let idx = self
+            .sq
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("committed store in SQ");
+        let e = self.sq.remove(idx);
+        let paddr = e.paddr.expect("committed store has an address");
+        let data = e.data.expect("committed store has data");
+        self.sbuffer.push_back(SbufferEntry {
+            paddr,
+            size: e.size,
+            data,
+            drain_at: now + drain_delay,
+            issued: false,
+            mmio: e.mmio,
+        });
+    }
+
+    /// Remove a committed load from the LQ.
+    pub fn commit_load(&mut self, seq: u64) {
+        self.lq.retain(|e| e.seq != seq);
+    }
+
+    /// Flush entries younger than `seq`.
+    pub fn flush_after(&mut self, seq: u64) {
+        self.lq.retain(|e| e.seq <= seq);
+        self.sq.retain(|e| e.seq <= seq);
+        // The store buffer holds only committed stores: never flushed.
+    }
+
+    /// Flush all speculative entries (keeps the store buffer).
+    pub fn flush_all_speculative(&mut self) {
+        self.lq.clear();
+        self.sq.clear();
+    }
+
+    /// The next drainable store-buffer entry (not yet issued and past its
+    /// drain delay).
+    pub fn next_drain(&mut self, now: u64) -> Option<&mut SbufferEntry> {
+        self.sbuffer
+            .iter_mut()
+            .find(|e| !e.issued && e.drain_at <= now)
+    }
+
+    /// Remove the store-buffer head once its L1D write completed.
+    pub fn pop_drained(&mut self) {
+        self.sbuffer.pop_front();
+    }
+
+    /// True when no committed store is waiting to reach memory.
+    pub fn sbuffer_empty(&self) -> bool {
+        self.sbuffer.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lsu() -> Lsu {
+        Lsu::new(8, 8, 4)
+    }
+
+    #[test]
+    fn full_forwarding_from_sq() {
+        let mut l = lsu();
+        let si = l.alloc_store(10, 8);
+        l.sq[si].paddr = Some(0x1000);
+        l.sq[si].data = Some(0xdead_beef_1122_3344);
+        // Exact match.
+        assert_eq!(
+            l.forward(20, 0x1000, 8),
+            ForwardResult::Forward(0xdead_beef_1122_3344)
+        );
+        // Contained smaller load: bytes at offset 2..4 are 0x1122.
+        assert_eq!(l.forward(20, 0x1002, 2), ForwardResult::Forward(0x1122));
+    }
+
+    #[test]
+    fn contained_load_extracts_bytes() {
+        let mut l = lsu();
+        let si = l.alloc_store(10, 8);
+        l.sq[si].paddr = Some(0x1000);
+        l.sq[si].data = Some(0x8877_6655_4433_2211);
+        assert_eq!(l.forward(20, 0x1000, 1), ForwardResult::Forward(0x11));
+        assert_eq!(l.forward(20, 0x1003, 1), ForwardResult::Forward(0x44));
+        assert_eq!(l.forward(20, 0x1004, 4), ForwardResult::Forward(0x8877_6655));
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut l = lsu();
+        let a = l.alloc_store(10, 8);
+        l.sq[a].paddr = Some(0x1000);
+        l.sq[a].data = Some(1);
+        let b = l.alloc_store(11, 8);
+        l.sq[b].paddr = Some(0x1000);
+        l.sq[b].data = Some(2);
+        assert_eq!(l.forward(20, 0x1000, 8), ForwardResult::Forward(2));
+        // A load older than store b sees only store a.
+        assert_eq!(l.forward(11, 0x1000, 8), ForwardResult::Forward(1));
+    }
+
+    #[test]
+    fn partial_overlap_stalls() {
+        let mut l = lsu();
+        let si = l.alloc_store(10, 4);
+        l.sq[si].paddr = Some(0x1002);
+        l.sq[si].data = Some(0xffff_ffff);
+        assert_eq!(l.forward(20, 0x1000, 8), ForwardResult::Stall);
+    }
+
+    #[test]
+    fn data_not_ready_stalls() {
+        let mut l = lsu();
+        let si = l.alloc_store(10, 8);
+        l.sq[si].paddr = Some(0x1000);
+        assert_eq!(l.forward(20, 0x1000, 8), ForwardResult::Stall);
+    }
+
+    #[test]
+    fn unknown_address_is_speculated_past() {
+        let mut l = lsu();
+        let _ = l.alloc_store(10, 8); // paddr unknown
+        assert_eq!(l.forward(20, 0x1000, 8), ForwardResult::None);
+    }
+
+    #[test]
+    fn forwarding_from_store_buffer() {
+        let mut l = lsu();
+        let si = l.alloc_store(10, 8);
+        l.sq[si].paddr = Some(0x2000);
+        l.sq[si].data = Some(77);
+        l.commit_store(10, 100, 20);
+        assert_eq!(l.forward(20, 0x2000, 8), ForwardResult::Forward(77));
+        assert!(l.next_drain(100).is_none(), "drain delay not elapsed");
+        assert!(l.next_drain(120).is_some());
+    }
+
+    #[test]
+    fn order_violation_detection() {
+        let mut l = lsu();
+        let li = l.alloc_load(20, 8);
+        l.lq[li].paddr = Some(0x3000);
+        l.lq[li].done = true;
+        let li2 = l.alloc_load(22, 8);
+        l.lq[li2].paddr = Some(0x3000);
+        l.lq[li2].done = true;
+        // Older store resolves to the same address: both loads violated;
+        // the oldest is reported.
+        assert_eq!(l.order_violation(10, 0x3000, 8), Some(20));
+        // Disjoint store: no violation.
+        assert_eq!(l.order_violation(10, 0x4000, 8), None);
+        // Store younger than the loads: no violation.
+        assert_eq!(l.order_violation(30, 0x3000, 8), None);
+        // A load that issued (address known) but has not produced data
+        // yet is also a violation: it will read stale memory.
+        let li3 = l.alloc_load(25, 8);
+        l.lq[li3].paddr = Some(0x3000);
+        assert_eq!(l.order_violation(21, 0x3000, 8), Some(22));
+    }
+
+    #[test]
+    fn flush_keeps_store_buffer() {
+        let mut l = lsu();
+        let si = l.alloc_store(10, 8);
+        l.sq[si].paddr = Some(0x1000);
+        l.sq[si].data = Some(5);
+        l.commit_store(10, 0, 0);
+        l.alloc_load(20, 8);
+        l.alloc_store(21, 8);
+        l.flush_after(15);
+        assert!(l.lq.is_empty());
+        assert!(l.sq.is_empty());
+        assert_eq!(l.sbuffer.len(), 1, "committed stores survive flushes");
+    }
+}

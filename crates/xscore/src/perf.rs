@@ -1,0 +1,117 @@
+//! Performance counters — the detailed counters the paper's §IV-D2
+//! analysis reads from simulation ("we look into the detailed performance
+//! counters obtained from simulation").
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated per-core performance counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Architecturally retired instructions (fused pairs count as two).
+    pub instret: u64,
+    /// Committed micro-ops (fused pairs count as one).
+    pub uops: u64,
+    /// Committed fused macro-ops.
+    pub fused_pairs: u64,
+    /// Committed conditional branches.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub branch_mispredicts: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub load_forwards: u64,
+    /// Pipeline flushes due to branch mispredicts.
+    pub flushes_mispredict: u64,
+    /// Pipeline flushes due to memory-order violations.
+    pub flushes_violation: u64,
+    /// Pipeline flushes after serializing (system) instructions.
+    pub flushes_system: u64,
+    /// Architectural exceptions taken.
+    pub exceptions: u64,
+    /// SC instructions that failed.
+    pub sc_failures: u64,
+    /// Register moves eliminated at rename.
+    pub moves_eliminated: u64,
+    /// Cycles in which rename stalled because the ROB was full.
+    pub rob_full_cycles: u64,
+    /// Distribution over cycles of the number of ready-to-issue
+    /// instructions in the ALU issue queues (Fig. 15); bucket 15 is
+    /// ">= 15".
+    pub ready_hist: [u64; 16],
+    /// Instructions dispatched with the PUBS high-priority mark.
+    pub high_priority_dispatched: u64,
+    /// Total dispatched instructions.
+    pub dispatched: u64,
+}
+
+impl PerfCounters {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instret as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch mispredictions per kilo-instruction (the PUBS paper's
+    /// selection metric).
+    pub fn mpki(&self) -> f64 {
+        if self.instret == 0 {
+            0.0
+        } else {
+            1000.0 * self.branch_mispredicts as f64 / self.instret as f64
+        }
+    }
+
+    /// Record a ready-count observation for the Fig. 15 histogram.
+    pub fn record_ready(&mut self, ready: usize) {
+        self.ready_hist[ready.min(15)] += 1;
+    }
+
+    /// Fraction of cycles in which more instructions were ready than the
+    /// paper's two-wide issue could service (the §IV-D2 "12.8%" metric).
+    pub fn frac_cycles_ready_gt(&self, k: usize) -> f64 {
+        let total: u64 = self.ready_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let above: u64 = self.ready_hist[k + 1..].iter().sum();
+        above as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_mpki() {
+        let mut p = PerfCounters::default();
+        assert_eq!(p.ipc(), 0.0);
+        p.cycles = 100;
+        p.instret = 250;
+        assert!((p.ipc() - 2.5).abs() < 1e-12);
+        p.branch_mispredicts = 5;
+        assert!((p.mpki() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ready_histogram() {
+        let mut p = PerfCounters::default();
+        p.record_ready(0);
+        p.record_ready(2);
+        p.record_ready(3);
+        p.record_ready(99);
+        assert_eq!(p.ready_hist[0], 1);
+        assert_eq!(p.ready_hist[2], 1);
+        assert_eq!(p.ready_hist[15], 1);
+        // 2 of 4 observations exceed 2.
+        assert!((p.frac_cycles_ready_gt(2) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Physical register files, register alias tables, and the free list —
+//! with reference-counted physical registers enabling move elimination
+//! (paper §IV-A: "Move elimination is enabled by a reference counting
+//! mechanism for the integer physical registers").
+
+/// A physical register index.
+pub type PReg = u16;
+
+/// The register alias table for one register class.
+pub type Rat = [PReg; 32];
+
+/// One class (integer or floating point) of physical registers.
+#[derive(Debug, Clone)]
+pub struct Prf {
+    value: Vec<u64>,
+    ready: Vec<bool>,
+    refcnt: Vec<u32>,
+    free: Vec<PReg>,
+}
+
+impl Prf {
+    /// Create a PRF with `n` physical registers. Register 0 is reserved
+    /// as the always-zero register (always ready, never freed).
+    pub fn new(n: usize) -> Self {
+        let mut free: Vec<PReg> = (1..n as PReg).rev().collect();
+        free.shrink_to_fit();
+        Prf {
+            value: vec![0; n],
+            ready: vec![false; n],
+            refcnt: vec![0; n],
+            free,
+        }
+    }
+
+    /// The always-zero physical register.
+    pub const ZERO: PReg = 0;
+
+    /// Initialize the zero register and mark architectural reset state:
+    /// returns a RAT with every architectural register mapped to freshly
+    /// allocated, ready, zero-valued physical registers.
+    pub fn reset_rat(&mut self) -> Rat {
+        self.ready[0] = true;
+        self.refcnt[0] = u32::MAX / 2; // pinned
+        let mut rat = [0 as PReg; 32];
+        for (i, slot) in rat.iter_mut().enumerate().skip(1) {
+            let p = self.alloc().expect("enough registers at reset");
+            self.ready[p as usize] = true;
+            self.value[p as usize] = 0;
+            *slot = p;
+            let _ = i;
+        }
+        rat
+    }
+
+    /// Allocate a fresh physical register (refcount 1, not ready).
+    pub fn alloc(&mut self) -> Option<PReg> {
+        let p = self.free.pop()?;
+        self.ready[p as usize] = false;
+        self.refcnt[p as usize] = 1;
+        Some(p)
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Increment the reference count (move elimination shares a mapping).
+    pub fn addref(&mut self, p: PReg) {
+        if p != Self::ZERO {
+            self.refcnt[p as usize] += 1;
+        }
+    }
+
+    /// Decrement the reference count, freeing the register at zero.
+    pub fn release(&mut self, p: PReg) {
+        if p == Self::ZERO {
+            return;
+        }
+        let r = &mut self.refcnt[p as usize];
+        debug_assert!(*r > 0, "double free of p{p}");
+        *r -= 1;
+        if *r == 0 {
+            self.free.push(p);
+        }
+    }
+
+    /// Write a value and mark the register ready.
+    pub fn write(&mut self, p: PReg, v: u64) {
+        if p != Self::ZERO {
+            self.value[p as usize] = v;
+            self.ready[p as usize] = true;
+        }
+    }
+
+    /// Read a register's value.
+    #[inline]
+    pub fn read(&self, p: PReg) -> u64 {
+        self.value[p as usize]
+    }
+
+    /// True when the register holds its final value.
+    #[inline]
+    pub fn is_ready(&self, p: PReg) -> bool {
+        self.ready[p as usize]
+    }
+
+    /// Current reference count (diagnostics/tests).
+    pub fn refcount(&self, p: PReg) -> u32 {
+        self.refcnt[p as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_maps_all_arch_regs() {
+        let mut prf = Prf::new(64);
+        let rat = prf.reset_rat();
+        assert_eq!(rat[0], Prf::ZERO);
+        // All distinct.
+        let mut seen = std::collections::HashSet::new();
+        for &p in &rat[1..] {
+            assert!(seen.insert(p), "duplicate mapping");
+            assert!(prf.is_ready(p));
+            assert_eq!(prf.read(p), 0);
+        }
+        assert_eq!(prf.free_count(), 64 - 32);
+    }
+
+    #[test]
+    fn alloc_write_read_cycle() {
+        let mut prf = Prf::new(8);
+        let p = prf.alloc().unwrap();
+        assert!(!prf.is_ready(p));
+        prf.write(p, 42);
+        assert!(prf.is_ready(p));
+        assert_eq!(prf.read(p), 42);
+        prf.release(p);
+        // Register recycled.
+        let p2 = prf.alloc().unwrap();
+        assert_eq!(p2, p);
+        assert!(!prf.is_ready(p2), "recycled register is not ready");
+    }
+
+    #[test]
+    fn move_elimination_refcounting() {
+        let mut prf = Prf::new(8);
+        let p = prf.alloc().unwrap();
+        prf.addref(p); // mv elimination: second arch reg maps here
+        prf.release(p); // first mapping dies
+        assert_eq!(prf.refcount(p), 1);
+        // Still allocated: not in the free list.
+        let mut allocated = Vec::new();
+        while let Some(q) = prf.alloc() {
+            assert_ne!(q, p, "shared register must not be reallocated");
+            allocated.push(q);
+        }
+        prf.release(p);
+        assert_eq!(prf.refcount(p), 0);
+        assert_eq!(prf.alloc(), Some(p), "freed after last reference");
+    }
+
+    #[test]
+    fn zero_register_is_immortal() {
+        let mut prf = Prf::new(64);
+        let _ = prf.reset_rat();
+        prf.write(Prf::ZERO, 99);
+        assert_eq!(prf.read(Prf::ZERO), 0, "writes to p0 are discarded");
+        prf.release(Prf::ZERO); // no-op
+        assert!(prf.is_ready(Prf::ZERO));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut prf = Prf::new(4);
+        assert!(prf.alloc().is_some());
+        assert!(prf.alloc().is_some());
+        assert!(prf.alloc().is_some());
+        assert!(prf.alloc().is_none(), "p0 is reserved");
+    }
+}

@@ -1,0 +1,276 @@
+//! The reorder buffer.
+//!
+//! Entries are identified by a monotonically increasing sequence number;
+//! age comparisons and flush boundaries are plain `seq` comparisons.
+
+use crate::prf::{PReg, Rat};
+use crate::uop::{CommitMem, Uop};
+use riscv_isa::trap::Exception;
+use std::collections::VecDeque;
+
+/// Execution state of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobState {
+    /// Waiting in an issue queue (or for commit-time execution).
+    Waiting,
+    /// Issued to a functional unit / LSU.
+    Issued,
+    /// Result written back; ready to commit.
+    Done,
+}
+
+/// One in-flight instruction.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Sequence number (global program order).
+    pub seq: u64,
+    /// The micro-op.
+    pub uop: Uop,
+    /// Physical destination (PRF::ZERO when none).
+    pub phys_rd: PReg,
+    /// Previous mapping of the destination (freed at commit).
+    pub old_phys: PReg,
+    /// Destination is floating point.
+    pub dest_fp: bool,
+    /// Entry has a register destination.
+    pub has_dest: bool,
+    /// This uop was a move eliminated at rename (never executes).
+    pub eliminated: bool,
+    /// Executes at commit (CSR/system/atomics).
+    pub commit_exec: bool,
+    /// Pipeline state.
+    pub state: RobState,
+    /// Exception recorded during execution (taken at commit).
+    pub exception: Option<(Exception, u64)>,
+    /// Result value (for probes and commit-time writes).
+    pub wb_value: u64,
+    /// Resolved control flow: taken?
+    pub actual_taken: bool,
+    /// Resolved control flow: target.
+    pub actual_target: u64,
+    /// Was this branch found mispredicted at resolution?
+    pub mispredicted: bool,
+    /// BPU already trained/recovered at resolution time.
+    pub bpu_resolved: bool,
+    /// RAT snapshots (int, fp) for control-flow recovery.
+    pub rat_snapshot: Option<Box<(Rat, Rat)>>,
+    /// Load-queue index, if a load.
+    pub lq_idx: Option<usize>,
+    /// Store-queue index, if a store.
+    pub sq_idx: Option<usize>,
+    /// Memory access info for the commit probe.
+    pub mem_info: Option<CommitMem>,
+    /// SC failure flag.
+    pub sc_failed: bool,
+    /// PUBS: this uop is in an unconfident branch slice.
+    pub high_priority: bool,
+    /// Physical source registers (fp?, preg).
+    pub phys_srcs: [Option<(bool, PReg)>; 3],
+    /// Memory-order violation: squash and re-fetch at commit.
+    pub replay_at_commit: bool,
+    /// Floating-point flags accumulated by this instruction.
+    pub fflags: u64,
+}
+
+impl RobEntry {
+    /// Create an entry in the Waiting state.
+    pub fn new(seq: u64, uop: Uop) -> Self {
+        RobEntry {
+            seq,
+            uop,
+            phys_rd: 0,
+            old_phys: 0,
+            dest_fp: false,
+            has_dest: false,
+            eliminated: false,
+            commit_exec: false,
+            state: RobState::Waiting,
+            exception: None,
+            wb_value: 0,
+            actual_taken: false,
+            actual_target: 0,
+            mispredicted: false,
+            bpu_resolved: false,
+            rat_snapshot: None,
+            lq_idx: None,
+            sq_idx: None,
+            mem_info: None,
+            sc_failed: false,
+            high_priority: false,
+            phys_srcs: [None; 3],
+            replay_at_commit: false,
+            fflags: 0,
+        }
+    }
+}
+
+/// The reorder buffer: a bounded FIFO of in-flight instructions.
+#[derive(Debug, Clone)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl Rob {
+    /// Create a ROB with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 1,
+        }
+    }
+
+    /// True when no more instructions can be renamed this cycle.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Number of in-flight instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Allocate the next entry, returning its sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — callers must check [`Rob::is_full`].
+    pub fn push(&mut self, uop: Uop) -> u64 {
+        assert!(!self.is_full(), "ROB overflow");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push_back(RobEntry::new(seq, uop));
+        seq
+    }
+
+    /// Access an entry by sequence number.
+    ///
+    /// Sequence numbers are strictly increasing but *not* contiguous
+    /// (flushes leave gaps), so this is a binary search.
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        let idx = self
+            .entries
+            .binary_search_by_key(&seq, |e| e.seq)
+            .ok()?;
+        Some(&self.entries[idx])
+    }
+
+    /// Mutable access by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let idx = self
+            .entries
+            .binary_search_by_key(&seq, |e| e.seq)
+            .ok()?;
+        Some(&mut self.entries[idx])
+    }
+
+    /// The oldest entry.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Pop the oldest entry (commit).
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Remove every entry younger than `seq`, returning them oldest-first
+    /// (mispredict/violation flush).
+    pub fn flush_after(&mut self, seq: u64) -> Vec<RobEntry> {
+        let keep = self
+            .entries
+            .iter()
+            .position(|e| e.seq > seq)
+            .unwrap_or(self.entries.len());
+        self.entries.split_off(keep).into()
+    }
+
+    /// Remove everything (full flush), returning the entries oldest-first.
+    pub fn flush_all(&mut self) -> Vec<RobEntry> {
+        std::mem::take(&mut self.entries).into()
+    }
+
+    /// Iterate over in-flight entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterate mutably, oldest first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::op::{DecodedInst, Op};
+
+    fn uop(pc: u64) -> Uop {
+        Uop::new(
+            pc,
+            DecodedInst {
+                op: Op::Addi,
+                rd: 1,
+                len: 4,
+                ..Default::default()
+            },
+            None,
+            pc + 4,
+        )
+    }
+
+    #[test]
+    fn push_get_pop() {
+        let mut rob = Rob::new(4);
+        let s1 = rob.push(uop(0x100));
+        let s2 = rob.push(uop(0x104));
+        assert_eq!(rob.get(s1).unwrap().uop.pc, 0x100);
+        assert_eq!(rob.get(s2).unwrap().uop.pc, 0x104);
+        assert_eq!(rob.head().unwrap().seq, s1);
+        rob.pop_head();
+        assert_eq!(rob.head().unwrap().seq, s2);
+        assert!(rob.get(s1).is_none(), "popped entries are unreachable");
+        assert_eq!(rob.get(s2).unwrap().seq, s2);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut rob = Rob::new(2);
+        rob.push(uop(0));
+        rob.push(uop(4));
+        assert!(rob.is_full());
+    }
+
+    #[test]
+    fn flush_after_removes_younger() {
+        let mut rob = Rob::new(8);
+        let seqs: Vec<u64> = (0..6).map(|i| rob.push(uop(i * 4))).collect();
+        let flushed = rob.flush_after(seqs[2]);
+        assert_eq!(flushed.len(), 3);
+        assert!(flushed.iter().all(|e| e.seq > seqs[2]));
+        assert_eq!(rob.len(), 3);
+        assert!(rob.get(seqs[3]).is_none());
+        assert!(rob.get(seqs[2]).is_some());
+        // Seq numbers keep increasing after a flush.
+        let s = rob.push(uop(0x40));
+        assert!(s > seqs[5]);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut rob = Rob::new(8);
+        rob.push(uop(0));
+        rob.push(uop(4));
+        let flushed = rob.flush_all();
+        assert_eq!(flushed.len(), 2);
+        assert!(rob.is_empty());
+    }
+}

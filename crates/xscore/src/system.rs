@@ -1,0 +1,482 @@
+//! Whole-system wrapper: one or two cores over the shared memory
+//! hierarchy, with cross-core reservation snooping.
+
+use crate::config::XsConfig;
+use crate::core::{Core, CycleOutput};
+use riscv_isa::asm::Program;
+use riscv_isa::mem::SparseMemory;
+use riscv_isa::state::ArchState;
+use uncore::MemSystem;
+
+/// A single- or dual-core XiangShan system.
+#[derive(Debug, Clone)]
+pub struct XsSystem {
+    /// The cores.
+    pub cores: Vec<Core>,
+    /// The shared memory hierarchy.
+    pub mem: MemSystem,
+}
+
+impl XsSystem {
+    /// Boot a program on all cores (every hart starts at the entry).
+    pub fn new(cfg: XsConfig, program: &Program) -> Self {
+        let mut backing = SparseMemory::new();
+        program.load_into(&mut backing);
+        Self::from_memory(cfg, backing, program.entry)
+    }
+
+    /// Build from a pre-populated physical memory.
+    pub fn from_memory(cfg: XsConfig, backing: SparseMemory, boot_pc: u64) -> Self {
+        let mem = MemSystem::new(cfg.mem_system_config(), cfg.memory.build(), backing);
+        let cores = (0..cfg.cores)
+            .map(|h| Core::new(cfg.clone(), h, boot_pc))
+            .collect();
+        XsSystem { cores, mem }
+    }
+
+    /// Restore a checkpointed architectural state into core 0.
+    pub fn restore(&mut self, state: &ArchState) {
+        self.cores[0].restore_arch_state(state);
+    }
+
+    /// Advance one cycle; returns each core's output.
+    pub fn tick(&mut self) -> Vec<CycleOutput> {
+        let completions = self.mem.tick();
+        let mut outs = Vec::with_capacity(self.cores.len());
+        for (h, core) in self.cores.iter_mut().enumerate() {
+            let mine: Vec<_> = completions
+                .iter()
+                .filter(|c| c.req.core == h)
+                .cloned()
+                .collect();
+            outs.push(core.tick(&mut self.mem, &mine));
+        }
+        // Cross-core reservation snooping on drained stores.
+        let drains: Vec<(usize, u64, u64)> = outs
+            .iter()
+            .flat_map(|o| o.drains.iter().map(|d| (d.hart, d.paddr, d.size)))
+            .collect();
+        for (h, paddr, size) in drains {
+            for (other, core) in self.cores.iter_mut().enumerate() {
+                if other != h {
+                    core.snoop_remote_store(paddr, size);
+                }
+            }
+        }
+        outs
+    }
+
+    /// True when every core halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.is_halted())
+    }
+
+    /// Run until all cores halt or `max_cycles` elapse. Returns core 0's
+    /// exit code.
+    pub fn run(&mut self, max_cycles: u64) -> Option<u64> {
+        for _ in 0..max_cycles {
+            if self.all_halted() {
+                break;
+            }
+            self.tick();
+        }
+        self.cores[0].halted
+    }
+
+    /// Run, additionally collecting every commit event (single-threaded
+    /// DiffTest-style consumption).
+    pub fn run_collect(&mut self, max_cycles: u64) -> Vec<crate::uop::CommitEvent> {
+        let mut all = Vec::new();
+        for _ in 0..max_cycles {
+            if self.all_halted() {
+                break;
+            }
+            for o in self.tick() {
+                all.extend(o.commits);
+            }
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::asm::{reg::*, Asm};
+
+    fn tiny_cfg() -> XsConfig {
+        // NH shrunk for fast unit tests.
+        let mut c = XsConfig::nh();
+        c.l1i = uncore::CacheConfig::new("l1i", 8192, 2, 2, 4);
+        c.l1d = uncore::CacheConfig::new("l1d", 8192, 2, 4, 8);
+        c.l2 = uncore::CacheConfig::new("l2", 32768, 4, 10, 8);
+        c.l3 = Some(uncore::CacheConfig::new("l3", 131072, 4, 20, 16));
+        c.memory = crate::config::MemoryModel::FixedAmat(50);
+        c
+    }
+
+    fn run_program(build: impl FnOnce(&mut Asm), max_cycles: u64) -> (Option<u64>, XsSystem) {
+        let mut a = Asm::new(0x8000_0000);
+        build(&mut a);
+        let p = a.assemble();
+        let mut sys = XsSystem::new(tiny_cfg(), &p);
+        let code = sys.run(max_cycles);
+        (code, sys)
+    }
+
+    #[test]
+    fn simple_arithmetic() {
+        let (code, _) = run_program(
+            |a| {
+                a.li(T0, 20);
+                a.li(T1, 22);
+                a.add(A0, T0, T1);
+                a.ebreak();
+            },
+            20_000,
+        );
+        assert_eq!(code, Some(42));
+    }
+
+    #[test]
+    fn loop_sum() {
+        let (code, sys) = run_program(
+            |a| {
+                a.li(T0, 0);
+                a.li(T1, 100);
+                a.li(T2, 0);
+                let top = a.bound_label();
+                a.add(T2, T2, T0);
+                a.addi(T0, T0, 1);
+                a.bne(T0, T1, top);
+                a.mv(A0, T2);
+                a.ebreak();
+            },
+            100_000,
+        );
+        assert_eq!(code, Some(4950));
+        let perf = &sys.cores[0].perf;
+        assert!(perf.instret > 300);
+        assert!(perf.ipc() > 0.3, "ipc {}", perf.ipc());
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let (code, _) = run_program(
+            |a| {
+                a.li(T0, 0x8001_0000);
+                a.li(T1, 0x1234_5678_9abc_def0u64 as i64);
+                a.sd(T1, 0, T0);
+                a.ld(T2, 0, T0);
+                a.lw(T3, 0, T0); // sign-extended low word
+                a.lbu(T4, 7, T0);
+                a.sub(A0, T2, T1); // 0 if roundtrip worked
+                a.ebreak();
+            },
+            50_000,
+        );
+        assert_eq!(code, Some(0));
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let (code, sys) = run_program(
+            |a| {
+                a.li(T0, 0x8001_0000);
+                a.li(A0, 0);
+                a.li(T1, 64);
+                let top = a.bound_label();
+                a.sd(T1, 0, T0);
+                a.ld(T2, 0, T0); // forwarded from the store
+                a.add(A0, A0, T2);
+                a.addi(T1, T1, -1);
+                a.bnez(T1, top);
+                a.ebreak();
+            },
+            200_000,
+        );
+        assert_eq!(code, Some((1..=64u64).sum::<u64>()));
+        assert!(
+            sys.cores[0].perf.load_forwards > 0,
+            "forwarding must trigger"
+        );
+    }
+
+    #[test]
+    fn function_calls() {
+        let (code, _) = run_program(
+            |a| {
+                let f = a.label();
+                let done = a.label();
+                a.li(A0, 0);
+                a.li(S0, 10);
+                let top = a.bound_label();
+                a.call(f);
+                a.addi(S0, S0, -1);
+                a.bnez(S0, top);
+                a.j(done);
+                a.bind(f);
+                a.addi(A0, A0, 7);
+                a.ret();
+                a.bind(done);
+                a.ebreak();
+            },
+            100_000,
+        );
+        assert_eq!(code, Some(70));
+    }
+
+    #[test]
+    fn branch_misprediction_recovery() {
+        // Data-dependent unpredictable-ish branches with side effects on
+        // both paths must still produce the architectural result.
+        let (code, _) = run_program(
+            |a| {
+                a.li(T0, 0); // i
+                a.li(T1, 200); // n
+                a.li(A0, 0); // acc
+                a.li(T3, 0x9e3779b9); // hash constant
+                let top = a.bound_label();
+                let odd = a.label();
+                let next = a.label();
+                // pseudo-random bit from i*K >> 13
+                a.mul(T4, T0, T3);
+                a.srli(T4, T4, 13);
+                a.andi(T4, T4, 1);
+                a.bnez(T4, odd);
+                a.addi(A0, A0, 3);
+                a.j(next);
+                a.bind(odd);
+                a.addi(A0, A0, 5);
+                a.bind(next);
+                a.addi(T0, T0, 1);
+                a.bne(T0, T1, top);
+                a.ebreak();
+            },
+            400_000,
+        );
+        // Compute expected on the host.
+        let mut acc = 0u64;
+        for i in 0..200u64 {
+            let t = (i.wrapping_mul(0x9e37_79b9) >> 13) & 1;
+            acc += if t != 0 { 5 } else { 3 };
+        }
+        assert_eq!(code, Some(acc));
+    }
+
+    #[test]
+    fn csr_and_system() {
+        let (code, _) = run_program(
+            |a| {
+                a.li(T0, 0x1234);
+                a.csrrw(ZERO, riscv_isa::csr::addr::MSCRATCH, T0);
+                a.csrrs(A0, riscv_isa::csr::addr::MSCRATCH, ZERO);
+                a.ebreak();
+            },
+            50_000,
+        );
+        assert_eq!(code, Some(0x1234));
+    }
+
+    #[test]
+    fn exception_and_trap_handler() {
+        let (code, sys) = run_program(
+            |a| {
+                let handler = a.label();
+                a.la(T0, handler);
+                a.csrrw(ZERO, riscv_isa::csr::addr::MTVEC, T0);
+                a.ecall();
+                a.li(A0, 1); // skipped
+                a.ebreak();
+                a.bind(handler);
+                a.li(A0, 99);
+                a.ebreak();
+            },
+            50_000,
+        );
+        assert_eq!(code, Some(99));
+        assert_eq!(
+            sys.cores[0].csr.mcause,
+            riscv_isa::trap::Exception::EcallFromM.code()
+        );
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let (code, _) = run_program(
+            |a| {
+                a.li(T0, 3);
+                a.fcvt_d_l(FT0, T0);
+                a.li(T1, 4);
+                a.fcvt_d_l(FT1, T1);
+                a.fmadd_d(FT2, FT0, FT1, FT0); // 3*4+3 = 15
+                a.fsqrt_d(FT3, FT1); // 2.0
+                a.fmul_d(FT2, FT2, FT3); // 30
+                a.fcvt_l_d(A0, FT2);
+                a.ebreak();
+            },
+            50_000,
+        );
+        assert_eq!(code, Some(30));
+    }
+
+    #[test]
+    fn amo_and_lrsc() {
+        let (code, _) = run_program(
+            |a| {
+                a.li(T0, 0x8001_0000);
+                a.li(T1, 5);
+                a.amoadd_d(T2, T1, T0); // mem=5, t2=0
+                a.amoadd_d(T3, T1, T0); // mem=10, t3=5
+                a.lr_d(T4, T0); // t4=10
+                a.addi(T4, T4, 1);
+                a.sc_d(T5, T4, T0); // success: t5=0, mem=11
+                a.ld(T6, 0, T0);
+                // a0 = t3*100 + t5*10 + t6 = 500 + 0 + 11
+                a.li(A1, 100);
+                a.mul(A0, T3, A1);
+                a.li(A1, 10);
+                a.mul(T5, T5, A1);
+                a.add(A0, A0, T5);
+                a.add(A0, A0, T6);
+                a.ebreak();
+            },
+            100_000,
+        );
+        assert_eq!(code, Some(511));
+    }
+
+    #[test]
+    fn uart_mmio_store() {
+        let (code, sys) = run_program(
+            |a| {
+                a.li(T0, crate::core::UART_TX as i64);
+                a.li(T1, b'O' as i64);
+                a.sb(T1, 0, T0);
+                a.li(T1, b'K' as i64);
+                a.sb(T1, 0, T0);
+                a.li(A0, 0);
+                a.ebreak();
+            },
+            50_000,
+        );
+        assert_eq!(code, Some(0));
+        assert_eq!(sys.cores[0].output, b"OK");
+    }
+
+    #[test]
+    fn memory_order_violation_recovers() {
+        // A pointer-chased store followed closely by a load of the same
+        // address: the load may speculate past the store and must replay.
+        let (code, _) = run_program(
+            |a| {
+                a.li(T0, 0x8001_0000);
+                a.li(A0, 0);
+                a.li(S0, 50);
+                let top = a.bound_label();
+                // Make the store address slow to compute.
+                a.mul(T1, S0, S0);
+                a.div(T1, T1, S0); // t1 = s0
+                a.andi(T1, T1, 0);
+                a.add(T2, T0, T1); // t2 = t0 (slowly)
+                a.sd(S0, 0, T2);
+                a.ld(T3, 0, T0); // same address, fast to compute
+                a.add(A0, A0, T3);
+                a.addi(S0, S0, -1);
+                a.bnez(S0, top);
+                a.ebreak();
+            },
+            500_000,
+        );
+        assert_eq!(code, Some((1..=50u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn dual_core_shared_counter() {
+        let mut a = Asm::new(0x8000_0000);
+        // Each hart adds its (hartid+1) 50 times to a shared counter with
+        // amoadd, then hart 0 waits for hart 1's done flag.
+        let counter = 0x8002_0000i64;
+        let done_flag = 0x8002_0040i64;
+        let hart1 = a.label();
+        let finish = a.label();
+        a.csrrs(T0, riscv_isa::csr::addr::MHARTID, ZERO);
+        a.bnez(T0, hart1);
+        // hart 0:
+        a.li(T1, counter);
+        a.li(T2, 1);
+        a.li(S0, 50);
+        let l0 = a.bound_label();
+        a.amoadd_d(ZERO, T2, T1);
+        a.addi(S0, S0, -1);
+        a.bnez(S0, l0);
+        // wait for hart 1
+        a.li(T3, done_flag);
+        let wait = a.bound_label();
+        a.ld(T4, 0, T3);
+        a.beqz(T4, wait);
+        a.j(finish);
+        // hart 1:
+        a.bind(hart1);
+        a.li(T1, counter);
+        a.li(T2, 2);
+        a.li(S0, 50);
+        let l1 = a.bound_label();
+        a.amoadd_d(ZERO, T2, T1);
+        a.addi(S0, S0, -1);
+        a.bnez(S0, l1);
+        a.li(T3, done_flag);
+        a.li(T4, 1);
+        a.sd(T4, 0, T3);
+        a.fence();
+        // hart 1 exits with its own code
+        a.li(A0, 0);
+        a.ebreak();
+        a.bind(finish);
+        a.li(T1, counter);
+        a.ld(A0, 0, T1);
+        a.ebreak();
+        let p = a.assemble();
+        let mut cfg = tiny_cfg();
+        cfg.cores = 2;
+        let mut sys = XsSystem::new(cfg, &p);
+        let code = sys.run(2_000_000);
+        assert_eq!(code, Some(150), "50*1 + 50*2 from both harts");
+    }
+
+    #[test]
+    fn fused_ops_commit_correctly() {
+        // lui+addi and slli+add patterns fused (NH config has fusion on).
+        let (code, sys) = run_program(
+            |a| {
+                a.lui(T0, 0x12345000);
+                a.addi(T0, T0, 0x678);
+                a.li(T1, 3);
+                a.li(T2, 100);
+                a.slli(T3, T1, 2);
+                a.add(T3, T3, T2); // sh2add shape: 3*4+100 = 112
+                a.sub(A0, T0, T3);
+                a.ebreak();
+            },
+            50_000,
+        );
+        assert_eq!(code, Some(0x12345678 - 112));
+        assert!(sys.cores[0].perf.fused_pairs > 0, "fusion must trigger");
+    }
+
+    #[test]
+    fn move_elimination_triggers() {
+        let (code, sys) = run_program(
+            |a| {
+                a.li(T0, 77);
+                a.mv(T1, T0);
+                a.mv(T2, T1);
+                a.mv(A0, T2);
+                a.ebreak();
+            },
+            50_000,
+        );
+        assert_eq!(code, Some(77));
+        assert!(sys.cores[0].perf.moves_eliminated > 0);
+    }
+}

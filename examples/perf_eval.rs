@@ -1,0 +1,83 @@
+//! The §III-D performance-evaluation workflow: profile a workload with
+//! NEMU, pick SimPoints, simulate only the representative checkpoints on
+//! the cycle model with warm-up, and compare the weighted CPI estimate
+//! against a full run.
+//!
+//! ```text
+//! cargo run --release --example perf_eval
+//! ```
+
+use checkpoint::{generate_checkpoints, weighted_cpi};
+use std::time::Instant;
+use workloads::{workload, Scale};
+use xscore::{XsConfig, XsSystem};
+
+fn main() {
+    let w = workload("bzip2", Scale::Test);
+    let cfg = XsConfig::nh();
+
+    // Full-detail simulation (the expensive baseline).
+    let t0 = Instant::now();
+    let mut sys = XsSystem::new(cfg.clone(), &w.program);
+    sys.run(200_000_000).expect("halts");
+    let full_time = t0.elapsed();
+    let full_cpi = 1.0 / sys.cores[0].perf.ipc();
+    println!(
+        "full simulation:   CPI {:.3}  ({} instructions, {:?})",
+        full_cpi,
+        sys.cores[0].instret(),
+        full_time
+    );
+
+    // Profile with NEMU and select SimPoints.
+    let t0 = Instant::now();
+    let set = generate_checkpoints(&w.program, 10_000, 4, 500_000_000);
+    println!(
+        "NEMU profiling:    {} instructions -> {} intervals -> {} SimPoints ({:?})",
+        set.total_instructions,
+        set.total_instructions / set.interval_len,
+        set.points.len(),
+        t0.elapsed()
+    );
+    for (c, p) in set.checkpoints.iter().zip(&set.points) {
+        println!(
+            "  checkpoint at interval {} (instret {}), weight {:.2}",
+            p.interval, c.instret, p.weight
+        );
+    }
+
+    // Simulate each checkpoint with warm-up and measure CPI.
+    let t0 = Instant::now();
+    let (warmup, window) = (2_000u64, 5_000u64);
+    let mut cpis = Vec::new();
+    let mut weights = Vec::new();
+    for c in &set.checkpoints {
+        let mut sys = XsSystem::from_memory(cfg.clone(), c.memory.clone(), c.state.pc);
+        sys.restore(&c.state);
+        while sys.cores[0].instret() < warmup && !sys.all_halted() {
+            sys.tick();
+        }
+        let (c0, i0) = (sys.cores[0].cycle(), sys.cores[0].instret());
+        while sys.cores[0].instret() < i0 + window && !sys.all_halted() {
+            sys.tick();
+        }
+        let di = sys.cores[0].instret() - i0;
+        if di == 0 {
+            continue;
+        }
+        let cpi = (sys.cores[0].cycle() - c0) as f64 / di as f64;
+        println!("  interval {:>3}: CPI {:.3}", c.interval, cpi);
+        cpis.push(cpi);
+        weights.push(c.weight);
+    }
+    let est = weighted_cpi(&cpis, &weights);
+    println!(
+        "sampled estimate:  CPI {:.3}  (deviation {:+.1}%, sampling took {:?})",
+        est,
+        (est / full_cpi - 1.0) * 100.0,
+        t0.elapsed()
+    );
+    println!();
+    println!("The checkpoint format itself is bootable with base-ISA instructions");
+    println!("only (Fig. 9): see Checkpoint::restore_loader and its tests.");
+}

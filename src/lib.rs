@@ -1,0 +1,14 @@
+//! Umbrella crate for the MINJIE/XiangShan reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/` can exercise the whole platform through one dependency.
+//! Library users should depend on the individual crates directly.
+
+pub use checkpoint;
+pub use minjie;
+pub use nemu;
+pub use riscv_isa;
+pub use uncore;
+pub use workloads;
+pub use xscore;

@@ -1,0 +1,123 @@
+//! Cross-crate integration: DiffTest over the full workload suite and
+//! torture-generated programs (DUT = xscore cycle model, REF = NEMU).
+
+use minjie::{CoSim, CoSimEnd};
+use workloads::{all_workloads, random_program, Scale, TortureConfig};
+use xscore::XsConfig;
+
+fn small_nh() -> XsConfig {
+    let mut c = XsConfig::nh();
+    c.l1i = uncore::CacheConfig::new("l1i", 8192, 2, 2, 4);
+    c.l1d = uncore::CacheConfig::new("l1d", 8192, 2, 4, 8);
+    c.l2 = uncore::CacheConfig::new("l2", 32768, 4, 10, 8);
+    c.l3 = Some(uncore::CacheConfig::new("l3", 131072, 4, 20, 16));
+    c.memory = xscore::MemoryModel::FixedAmat(40);
+    c
+}
+
+#[test]
+fn every_workload_passes_difftest_on_nh() {
+    for w in all_workloads(Scale::Test) {
+        let mut cosim = CoSim::new(small_nh(), &w.program);
+        match cosim.run(80_000_000) {
+            CoSimEnd::Halted(_) => {}
+            other => panic!("{}: {other:?}", w.name),
+        }
+        assert!(
+            cosim.state.diff.commits_checked > 3_000,
+            "{} checked too few commits",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn every_workload_passes_difftest_on_yqh() {
+    let mut cfg = XsConfig::yqh();
+    cfg.memory = xscore::MemoryModel::FixedAmat(60);
+    for w in all_workloads(Scale::Test) {
+        let mut cosim = CoSim::new(cfg.clone(), &w.program);
+        match cosim.run(80_000_000) {
+            CoSimEnd::Halted(_) => {}
+            other => panic!("{}: {other:?}", w.name),
+        }
+    }
+}
+
+#[test]
+fn torture_programs_pass_difftest() {
+    let cfg = TortureConfig::default();
+    for seed in 0..12 {
+        let p = random_program(seed, &cfg);
+        let mut cosim = CoSim::new(small_nh(), &p);
+        match cosim.run(40_000_000) {
+            CoSimEnd::Halted(_) => {}
+            other => panic!("seed {seed}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn torture_without_branches_or_memory() {
+    let cfg = TortureConfig {
+        memory_ops: false,
+        branches: false,
+        muldiv: true,
+        body_len: 80,
+        iterations: 30,
+        compressed: false,
+    };
+    for seed in 100..106 {
+        let p = random_program(seed, &cfg);
+        let mut cosim = CoSim::new(small_nh(), &p);
+        assert!(
+            matches!(cosim.run(40_000_000), CoSimEnd::Halted(_)),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn torture_with_compressed_instructions_passes_difftest() {
+    // Mixed 2/4-byte encodings misalign instructions across 32-byte fetch
+    // blocks, exercising the IFU's split-fetch path.
+    let cfg = TortureConfig {
+        compressed: true,
+        ..Default::default()
+    };
+    for seed in 200..210 {
+        let p = random_program(seed, &cfg);
+        let mut cosim = CoSim::new(small_nh(), &p);
+        match cosim.run(40_000_000) {
+            CoSimEnd::Halted(_) => {}
+            other => panic!("seed {seed}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn fault_injection_is_always_caught() {
+    // Corrupting any architectural register mid-run must produce a
+    // DiffTest report, never a silent pass (on this branch-heavy kernel
+    // every register feeds the outputs).
+    let w = workloads::workload("sjeng", Scale::Test);
+    for (reg, when) in [(10u8, 5_000u64), (18, 9_000), (8, 14_000)] {
+        let mut cosim = CoSim::new(small_nh(), &w.program).with_lightsss(2_000);
+        let mut armed = true;
+        let mut caught = false;
+        for _ in 0..40_000_000u64 {
+            if cosim.state.sys.all_halted() {
+                break;
+            }
+            if armed && cosim.state.sys.cores[0].instret() >= when {
+                cosim.state.sys.cores[0].inject_fault_gpr(reg, 1 << 13);
+                armed = false;
+            }
+            if cosim.step_cycle().is_err() {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught, "fault in x{reg} at {when} must be detected");
+    }
+}

@@ -1,0 +1,104 @@
+//! The §III-D3 performance-evaluation workflow end to end: profile with
+//! NEMU, select SimPoints, simulate only the representative checkpoints
+//! on the cycle model (with warm-up), and compare the weighted CPI
+//! against the full-run CPI.
+//!
+//! The paper reports a 5-10% deviation between this methodology and full
+//! runs; this test allows a wider (25%) band because the test-scale
+//! intervals are far shorter than the paper's multi-million-instruction
+//! fragments.
+
+use checkpoint::{generate_checkpoints, weighted_cpi};
+use workloads::{workload, Scale};
+use xscore::{XsConfig, XsSystem};
+
+fn small_nh() -> XsConfig {
+    let mut c = XsConfig::nh();
+    c.l1i = uncore::CacheConfig::new("l1i", 8192, 2, 2, 4);
+    c.l1d = uncore::CacheConfig::new("l1d", 8192, 2, 4, 8);
+    c.l2 = uncore::CacheConfig::new("l2", 32768, 4, 10, 8);
+    c.l3 = Some(uncore::CacheConfig::new("l3", 131072, 4, 20, 16));
+    c.memory = xscore::MemoryModel::FixedAmat(40);
+    c
+}
+
+fn full_run_cpi(cfg: &XsConfig, program: &riscv_isa::asm::Program) -> f64 {
+    let mut sys = XsSystem::new(cfg.clone(), program);
+    sys.run(200_000_000).expect("halts");
+    1.0 / sys.cores[0].perf.ipc()
+}
+
+fn sampled_cpi(
+    cfg: &XsConfig,
+    set: &checkpoint::CheckpointSet,
+    warmup: u64,
+    window: u64,
+) -> f64 {
+    let mut cpis = Vec::new();
+    let mut weights = Vec::new();
+    for c in &set.checkpoints {
+        let mut sys = XsSystem::from_memory(cfg.clone(), c.memory.clone(), c.state.pc);
+        sys.restore(&c.state);
+        let mut guard = 0u64;
+        while sys.cores[0].instret() < warmup && !sys.all_halted() {
+            sys.tick();
+            guard += 1;
+            assert!(guard < 50_000_000);
+        }
+        let (c0, i0) = (sys.cores[0].cycle(), sys.cores[0].instret());
+        while sys.cores[0].instret() < i0 + window && !sys.all_halted() {
+            sys.tick();
+        }
+        let di = sys.cores[0].instret() - i0;
+        if di == 0 {
+            continue; // checkpoint too close to the end
+        }
+        let dc = sys.cores[0].cycle() - c0;
+        cpis.push(dc as f64 / di as f64);
+        weights.push(c.weight);
+    }
+    assert!(!cpis.is_empty(), "at least one measurable checkpoint");
+    weighted_cpi(&cpis, &weights)
+}
+
+#[test]
+fn weighted_cpi_tracks_full_run() {
+    let cfg = small_nh();
+    for name in ["sjeng", "hmmer", "libquantum"] {
+        let w = workload(name, Scale::Test);
+        let full = full_run_cpi(&cfg, &w.program);
+        let set = generate_checkpoints(&w.program, 8_000, 4, 100_000_000);
+        let sampled = sampled_cpi(&cfg, &set, 2_000, 5_000);
+        let err = (sampled / full - 1.0).abs();
+        println!("{name}: full CPI {full:.3}, sampled {sampled:.3}, err {:.1}%", err * 100.0);
+        assert!(
+            err < 0.25,
+            "{name}: sampled {sampled:.3} vs full {full:.3} ({:.1}% off)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn more_clusters_do_not_hurt() {
+    // 100% coverage (k = number of intervals) must reproduce the run at
+    // least as faithfully as a single cluster, on a phase-changing kernel.
+    let cfg = small_nh();
+    let w = workload("bzip2", Scale::Test);
+    let full = full_run_cpi(&cfg, &w.program);
+    let coarse = {
+        let set = generate_checkpoints(&w.program, 10_000, 1, 100_000_000);
+        sampled_cpi(&cfg, &set, 2_000, 5_000)
+    };
+    let fine = {
+        let set = generate_checkpoints(&w.program, 10_000, 16, 100_000_000);
+        sampled_cpi(&cfg, &set, 2_000, 5_000)
+    };
+    let e_coarse = (coarse / full - 1.0).abs();
+    let e_fine = (fine / full - 1.0).abs();
+    println!("bzip2: full {full:.3} coarse {coarse:.3} ({e_coarse:.3}) fine {fine:.3} ({e_fine:.3})");
+    assert!(
+        e_fine <= e_coarse + 0.05,
+        "higher clustering coverage must not degrade accuracy materially"
+    );
+}
