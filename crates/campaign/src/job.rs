@@ -1,0 +1,207 @@
+//! Job specifications: what one campaign slot runs.
+
+use minjie::DiffError;
+use riscv_isa::asm::Program;
+use workloads::{Scale, TortureConfig, TortureProgram};
+use xscore::{InjectedBug, XsConfig};
+
+/// Where a job's program comes from.
+///
+/// Everything here is *recipe*, not bytes: a job re-derives its program
+/// on the worker, so specs stay cheap to clone across threads and a
+/// `(seed, config, mask)` triple in a report is a complete reproducer.
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// A named SPEC-like kernel (built at [`Scale::Test`]).
+    Kernel {
+        /// Kernel name, e.g. `"sjeng"`.
+        name: String,
+    },
+    /// A torture program regenerated from its seed, optionally with a
+    /// kept-mask over the abstract body slots.
+    Torture {
+        /// Generator seed.
+        seed: u64,
+        /// Generator knobs.
+        cfg: TortureConfig,
+        /// Kept-mask (None keeps every slot).
+        keep: Option<Vec<bool>>,
+    },
+    /// A caller-assembled program.
+    Inline {
+        /// Display name for the report.
+        name: String,
+        /// The program image.
+        program: Program,
+    },
+}
+
+impl WorkloadSource {
+    /// A full torture program from `seed`.
+    pub fn torture(seed: u64, cfg: TortureConfig) -> Self {
+        WorkloadSource::Torture {
+            seed,
+            cfg,
+            keep: None,
+        }
+    }
+
+    /// A named kernel.
+    pub fn kernel(name: impl Into<String>) -> Self {
+        WorkloadSource::Kernel { name: name.into() }
+    }
+
+    /// An inline program.
+    pub fn inline(name: impl Into<String>, program: Program) -> Self {
+        WorkloadSource::Inline {
+            name: name.into(),
+            program,
+        }
+    }
+
+    /// Stable display label used in reports.
+    pub fn describe(&self) -> String {
+        match self {
+            WorkloadSource::Kernel { name } => format!("kernel:{name}"),
+            WorkloadSource::Torture { seed, .. } => format!("torture:seed={seed}"),
+            WorkloadSource::Inline { name, .. } => format!("inline:{name}"),
+        }
+    }
+
+    /// Assemble the program this source describes.
+    pub fn build(&self) -> Program {
+        match self {
+            WorkloadSource::Kernel { name } => workloads::workload(name, Scale::Test).program,
+            WorkloadSource::Torture { seed, cfg, keep } => {
+                let t = TortureProgram::generate(*seed, cfg);
+                match keep {
+                    Some(mask) => t.emit_subset(mask),
+                    None => t.emit(),
+                }
+            }
+            WorkloadSource::Inline { program, .. } => program.clone(),
+        }
+    }
+}
+
+/// One campaign job: a workload on a configuration, with run limits.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The program recipe.
+    pub workload: WorkloadSource,
+    /// Configuration preset slug (see [`XsConfig::preset_names`]).
+    pub config: String,
+    /// Core-count override (None keeps the preset's).
+    pub cores: Option<usize>,
+    /// Deliberate DUT corruption (verification-flow tests only).
+    pub injected_bug: Option<InjectedBug>,
+    /// Cycle budget; exceeding it is a [`Timeout`](crate::Verdict::Timeout).
+    pub max_cycles: u64,
+    /// LightSSS snapshot interval (None disables snapshots).
+    pub lightsss_interval: Option<u64>,
+}
+
+impl JobSpec {
+    /// A job with default limits (40 M cycles, no snapshots).
+    pub fn new(workload: WorkloadSource, config: impl Into<String>) -> Self {
+        JobSpec {
+            workload,
+            config: config.into(),
+            cores: None,
+            injected_bug: None,
+            max_cycles: 40_000_000,
+            lightsss_interval: None,
+        }
+    }
+
+    /// Override the preset's core count.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = Some(cores);
+        self
+    }
+
+    /// Arm a deliberate DUT bug.
+    pub fn with_injected_bug(mut self, bug: InjectedBug) -> Self {
+        self.injected_bug = Some(bug);
+        self
+    }
+
+    /// Set the cycle budget.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Enable LightSSS with the given snapshot interval.
+    pub fn with_lightsss(mut self, interval: u64) -> Self {
+        self.lightsss_interval = Some(interval);
+        self
+    }
+
+    /// Resolve the preset slug and apply the job's overrides.
+    pub fn build_config(&self) -> Option<XsConfig> {
+        let mut cfg = XsConfig::preset(&self.config)?;
+        if let Some(cores) = self.cores {
+            cfg.cores = cores;
+        }
+        if let Some(bug) = self.injected_bug {
+            cfg.injected_bug = Some(bug);
+        }
+        Some(cfg)
+    }
+}
+
+/// The variant name of a [`DiffError`] — campaigns group and match
+/// divergences by this class.
+pub fn error_class(e: &DiffError) -> &'static str {
+    match e {
+        DiffError::Pc { .. } => "Pc",
+        DiffError::Writeback { .. } => "Writeback",
+        DiffError::Trap { .. } => "Trap",
+        DiffError::RepeatedForcedEvent { .. } => "RepeatedForcedEvent",
+        DiffError::State { .. } => "State",
+        DiffError::Csr { .. } => "Csr",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_labels_are_stable() {
+        assert_eq!(WorkloadSource::kernel("sjeng").describe(), "kernel:sjeng");
+        assert_eq!(
+            WorkloadSource::torture(7, TortureConfig::default()).describe(),
+            "torture:seed=7"
+        );
+    }
+
+    #[test]
+    fn config_resolution_applies_overrides() {
+        let j = JobSpec::new(WorkloadSource::kernel("mcf"), "small-nh")
+            .with_cores(2)
+            .with_injected_bug(InjectedBug::MulLowBit);
+        let c = j.build_config().unwrap();
+        assert_eq!(c.cores, 2);
+        assert_eq!(c.injected_bug, Some(InjectedBug::MulLowBit));
+        assert!(JobSpec::new(WorkloadSource::kernel("mcf"), "bogus")
+            .build_config()
+            .is_none());
+    }
+
+    #[test]
+    fn torture_source_build_honours_mask() {
+        let cfg = TortureConfig::default();
+        let full = WorkloadSource::torture(3, cfg).build();
+        let t = TortureProgram::generate(3, &cfg);
+        let keep = vec![false; t.len()];
+        let empty = WorkloadSource::Torture {
+            seed: 3,
+            cfg,
+            keep: Some(keep),
+        }
+        .build();
+        assert!(empty.bytes.len() < full.bytes.len());
+    }
+}

@@ -1,0 +1,49 @@
+//! Parallel DiffTest campaign runner with failure minimization.
+//!
+//! The paper's verification flow runs *fleets* of co-simulations —
+//! workload × configuration × torture-seed matrices — and turns any
+//! divergence into a small, replayable reproducer. This crate is that
+//! harness:
+//!
+//! - [`JobSpec`] names one run: a [`WorkloadSource`] (kernel, torture
+//!   seed, or inline program), an [`XsConfig`] preset slug, and limits.
+//! - [`Campaign`] shards jobs across a `std::thread` worker pool; every
+//!   job runs inside a panic boundary and yields a [`Verdict`].
+//! - On a divergence, the ddmin [`minimize`] pass shrinks the failing
+//!   torture program's kept-mask while the same [`DiffError`] class
+//!   reproduces, and the report attaches the `(seed, cfg, mask)`
+//!   reproducer plus the LightSSS replay window.
+//! - [`CampaignReport`] renders to JSON with wall-clock timing
+//!   segregated from the deterministic body, so identical campaigns
+//!   produce byte-identical report bodies.
+//!
+//! # Example
+//!
+//! ```
+//! use campaign::{Campaign, JobSpec, WorkloadSource};
+//! use workloads::TortureConfig;
+//!
+//! let cfg = TortureConfig { body_len: 20, iterations: 3, ..Default::default() };
+//! let jobs = (0..2)
+//!     .map(|seed| JobSpec::new(WorkloadSource::torture(seed, cfg), "small-nh")
+//!         .with_max_cycles(2_000_000))
+//!     .collect();
+//! let report = Campaign::new(jobs).with_workers(2).run();
+//! assert_eq!(report.summary.halted, 2);
+//! ```
+//!
+//! [`XsConfig`]: xscore::XsConfig
+//! [`DiffError`]: minjie::DiffError
+
+pub mod job;
+pub mod minimize;
+pub mod report;
+pub mod runner;
+
+pub use job::{error_class, JobSpec, WorkloadSource};
+pub use minimize::{minimize, MinimizeOutcome};
+pub use report::{
+    CampaignReport, CampaignSummary, JobRecord, MinimizedRepro, ReplayWindow, Verdict, WallClock,
+    SCHEMA_VERSION,
+};
+pub use runner::Campaign;

@@ -1,0 +1,139 @@
+//! Delta-debugging minimizer for failing torture programs.
+//!
+//! Classic ddmin over the kept-mask of a [`TortureProgram`]'s abstract
+//! body: repeatedly drop chunks of the currently-kept slots and keep any
+//! candidate for which the caller's oracle still reproduces the failure.
+//! The oracle is a closure, so the same algorithm is testable against
+//! synthetic failure shapes and drives real CoSim re-runs in the
+//! campaign runner.
+//!
+//! [`TortureProgram`]: workloads::TortureProgram
+
+/// What the minimizer did.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// Final kept-mask (same length as the input).
+    pub kept: Vec<bool>,
+    /// Kept-slot count after the initial check and after every accepted
+    /// reduction — monotonically non-increasing by construction.
+    pub steps: Vec<usize>,
+    /// Oracle invocations.
+    pub runs: u64,
+}
+
+impl MinimizeOutcome {
+    /// Number of slots still kept.
+    pub fn kept_count(&self) -> usize {
+        self.kept.iter().filter(|&&k| k).count()
+    }
+}
+
+/// Shrink `initial` while `reproduces` keeps returning `true`.
+///
+/// The oracle receives a candidate kept-mask (always a subset of
+/// `initial`) and reports whether the failure still reproduces. The
+/// returned mask is the smallest subset ddmin found; if the oracle
+/// rejects even the unmodified `initial`, it is returned unchanged.
+///
+/// Deterministic: candidate order depends only on `initial` and the
+/// oracle's answers.
+pub fn minimize<F>(initial: &[bool], mut reproduces: F) -> MinimizeOutcome
+where
+    F: FnMut(&[bool]) -> bool,
+{
+    let total = initial.len();
+    let mask_of = |kept_idx: &[usize]| {
+        let mut m = vec![false; total];
+        for &i in kept_idx {
+            m[i] = true;
+        }
+        m
+    };
+
+    let mut kept_idx: Vec<usize> = (0..total).filter(|&i| initial[i]).collect();
+    let mut runs = 1u64;
+    if !reproduces(&mask_of(&kept_idx)) {
+        return MinimizeOutcome {
+            kept: initial.to_vec(),
+            steps: vec![kept_idx.len()],
+            runs,
+        };
+    }
+    let mut steps = vec![kept_idx.len()];
+
+    let mut n = 2usize;
+    while kept_idx.len() >= 2 {
+        let len = kept_idx.len();
+        let chunk = len.div_ceil(n);
+        let mut reduced = false;
+        for start in (0..len).step_by(chunk) {
+            let end = (start + chunk).min(len);
+            let candidate: Vec<usize> = kept_idx
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < start || *i >= end)
+                .map(|(_, &v)| v)
+                .collect();
+            runs += 1;
+            if reproduces(&mask_of(&candidate)) {
+                kept_idx = candidate;
+                steps.push(kept_idx.len());
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            if n >= len {
+                break; // 1-granular and nothing removable: minimal.
+            }
+            n = (n * 2).min(kept_idx.len());
+        }
+    }
+
+    MinimizeOutcome {
+        kept: mask_of(&kept_idx),
+        steps,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // Failure reproduces iff slot 17 is kept.
+        let initial = vec![true; 60];
+        let out = minimize(&initial, |m| m[17]);
+        assert_eq!(out.kept_count(), 1);
+        assert!(out.kept[17]);
+    }
+
+    #[test]
+    fn keeps_an_interacting_pair() {
+        let initial = vec![true; 40];
+        let out = minimize(&initial, |m| m[3] && m[31]);
+        assert_eq!(out.kept_count(), 2);
+        assert!(out.kept[3] && out.kept[31]);
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged() {
+        let initial: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let out = minimize(&initial, |_| false);
+        assert_eq!(out.kept, initial);
+        assert_eq!(out.runs, 1);
+    }
+
+    #[test]
+    fn steps_never_grow() {
+        let initial = vec![true; 100];
+        let out = minimize(&initial, |m| m.iter().filter(|&&k| k).count() >= 10);
+        for w in out.steps.windows(2) {
+            assert!(w[1] <= w[0], "shrinking must be monotone: {:?}", out.steps);
+        }
+        assert_eq!(out.kept_count(), 10);
+    }
+}

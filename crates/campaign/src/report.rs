@@ -1,0 +1,258 @@
+//! Machine-readable campaign reports.
+//!
+//! A report has two parts: a *deterministic body* (schema, summary,
+//! per-job records — identical bytes for identical job lists and seeds,
+//! regardless of worker interleaving) and a segregated *timing section*
+//! (wall-clock measurements, which legitimately vary run to run).
+//! [`CampaignReport::deterministic_json`] renders only the body;
+//! [`CampaignReport::full_json`] appends the timing section under the
+//! `"timing"` key.
+
+use minjie::DiffError;
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+use workloads::TortureConfig;
+
+/// Report schema version (bump on breaking shape changes).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// How one job ended.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The program ran to completion under DiffTest.
+    Halted {
+        /// Exit code (hart 0's `a0` at `ebreak`).
+        exit_code: u64,
+    },
+    /// DiffTest reported a DUT/REF divergence.
+    Diverged {
+        /// The divergence.
+        error: DiffError,
+    },
+    /// The cycle budget ran out.
+    Timeout,
+    /// The simulation panicked (caught at the job boundary).
+    Panicked {
+        /// The panic payload.
+        message: String,
+    },
+}
+
+impl Verdict {
+    /// Short label for summaries and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Halted { .. } => "halted",
+            Verdict::Diverged { .. } => "diverged",
+            Verdict::Timeout => "timeout",
+            Verdict::Panicked { .. } => "panicked",
+        }
+    }
+}
+
+/// The LightSSS replay debrief attached to a divergence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayWindow {
+    /// Cycle of the snapshot the replay restarted from.
+    pub from_cycle: u64,
+    /// Cycle at which the divergence was originally detected.
+    pub at_cycle: u64,
+    /// Cycles re-simulated in debug mode.
+    pub cycles_replayed: u64,
+    /// Whether the error reproduced identically.
+    pub reproduced: bool,
+    /// Debug-mode events captured during the replay.
+    pub trace_records: u64,
+}
+
+/// A minimized failing torture program: `(seed, cfg, kept)` rebuilds it
+/// exactly via [`TortureProgram::emit_subset`].
+///
+/// [`TortureProgram::emit_subset`]: workloads::TortureProgram::emit_subset
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinimizedRepro {
+    /// Generator seed.
+    pub seed: u64,
+    /// Generator knobs.
+    pub torture: TortureConfig,
+    /// Kept body-slot indices after minimization.
+    pub kept: Vec<u64>,
+    /// Kept-slot count before minimization.
+    pub original_kept: u64,
+    /// Kept-slot count after minimization.
+    pub minimized_kept: u64,
+    /// The divergence class the reproducer preserves.
+    pub error_class: String,
+    /// CoSim re-runs the minimizer spent.
+    pub minimizer_runs: u64,
+}
+
+/// One job's deterministic record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Position in the campaign's job list.
+    pub index: u64,
+    /// Workload label (see `WorkloadSource::describe`).
+    pub workload: String,
+    /// Configuration preset slug.
+    pub config: String,
+    /// How the job ended.
+    pub verdict: Verdict,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Commits DiffTest verified.
+    pub commits_checked: u64,
+    /// Instructions retired (summed over harts).
+    pub instret: u64,
+    /// Architectural exceptions taken (summed over harts).
+    pub exceptions: u64,
+    /// Instructions per cycle, rounded to 3 decimals.
+    pub ipc: f64,
+    /// Diff-rule applications (name, count), sorted by name.
+    pub rule_counts: Vec<(String, u64)>,
+    /// Replay debrief (divergences with LightSSS enabled).
+    pub replay: Option<ReplayWindow>,
+    /// Minimized reproducer (diverged torture jobs only).
+    pub minimized: Option<MinimizedRepro>,
+}
+
+/// Verdict tallies over a whole campaign.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Jobs run.
+    pub total: u64,
+    /// Jobs that halted cleanly.
+    pub halted: u64,
+    /// Jobs on which DiffTest diverged.
+    pub diverged: u64,
+    /// Jobs that exhausted their cycle budget.
+    pub timeout: u64,
+    /// Jobs that panicked.
+    pub panicked: u64,
+}
+
+impl CampaignSummary {
+    /// Tally the verdicts of `jobs`.
+    pub fn tally(jobs: &[JobRecord]) -> Self {
+        let mut s = CampaignSummary {
+            total: jobs.len() as u64,
+            ..Default::default()
+        };
+        for j in jobs {
+            match j.verdict {
+                Verdict::Halted { .. } => s.halted += 1,
+                Verdict::Diverged { .. } => s.diverged += 1,
+                Verdict::Timeout => s.timeout += 1,
+                Verdict::Panicked { .. } => s.panicked += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Wall-clock measurements — segregated from the deterministic body.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WallClock {
+    /// Campaign wall time, milliseconds.
+    pub total_ms: u64,
+    /// Per-job wall time, milliseconds, in job order.
+    pub per_job_ms: Vec<u64>,
+}
+
+/// A finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Worker threads used.
+    pub workers: u64,
+    /// Verdict tallies.
+    pub summary: CampaignSummary,
+    /// Per-job records, in job order.
+    pub jobs: Vec<JobRecord>,
+    /// Wall-clock measurements (excluded from the deterministic body).
+    pub wall_clock: WallClock,
+}
+
+impl CampaignReport {
+    fn body_value(&self) -> Value {
+        let to_value = |v: &dyn serde::Serialize| v.serialize();
+        let mut m = Map::new();
+        m.insert("schema_version".into(), to_value(&SCHEMA_VERSION));
+        m.insert("workers".into(), to_value(&self.workers));
+        m.insert("summary".into(), to_value(&self.summary));
+        m.insert("jobs".into(), to_value(&self.jobs));
+        Value::Object(m)
+    }
+
+    /// The deterministic body: byte-identical across runs of the same
+    /// campaign, independent of worker scheduling.
+    pub fn deterministic_json(&self) -> String {
+        serde_json::to_string_pretty(&self.body_value()).expect("report body serializes")
+    }
+
+    /// The full report: deterministic body plus the `"timing"` section.
+    pub fn full_json(&self) -> String {
+        let mut v = self.body_value();
+        if let Value::Object(m) = &mut v {
+            m.insert("timing".into(), serde::Serialize::serialize(&self.wall_clock));
+        }
+        serde_json::to_string_pretty(&v).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: u64, verdict: Verdict) -> JobRecord {
+        JobRecord {
+            index,
+            workload: "kernel:mcf".into(),
+            config: "small-nh".into(),
+            verdict,
+            cycles: 1000,
+            commits_checked: 500,
+            instret: 700,
+            exceptions: 0,
+            ipc: 0.7,
+            rule_counts: vec![("ScFailure".into(), 1)],
+            replay: None,
+            minimized: None,
+        }
+    }
+
+    #[test]
+    fn timing_is_segregated_from_the_deterministic_body() {
+        let mut r = CampaignReport {
+            workers: 4,
+            summary: CampaignSummary::tally(&[record(0, Verdict::Timeout)]),
+            jobs: vec![record(0, Verdict::Timeout)],
+            wall_clock: WallClock {
+                total_ms: 123,
+                per_job_ms: vec![123],
+            },
+        };
+        let det1 = r.deterministic_json();
+        r.wall_clock.total_ms = 9999; // a different run's timing
+        let det2 = r.deterministic_json();
+        assert_eq!(det1, det2, "wall clock must not leak into the body");
+        assert!(!det1.contains("timing"));
+        assert!(r.full_json().contains("\"timing\""));
+        assert!(r.full_json().contains("9999"));
+    }
+
+    #[test]
+    fn report_json_parses_back() {
+        let r = CampaignReport {
+            workers: 2,
+            summary: CampaignSummary::tally(&[]),
+            jobs: vec![record(
+                0,
+                Verdict::Halted { exit_code: 42 },
+            )],
+            wall_clock: WallClock::default(),
+        };
+        let v: Value = serde_json::from_str(&r.full_json()).expect("valid JSON");
+        assert_eq!(v["schema_version"], SCHEMA_VERSION);
+        assert_eq!(v["jobs"][0]["workload"], "kernel:mcf");
+    }
+}

@@ -1,0 +1,257 @@
+//! The parallel campaign runner.
+//!
+//! Shards a job list across a `std::thread` worker pool (no external
+//! runtime: a mutex-guarded queue feeds workers, an mpsc channel
+//! collects results). Each job runs inside [`minjie::run_isolated`]'s
+//! panic boundary, so a crashing simulation downs one job, not the
+//! pool. Results reassemble in job order, making the report body
+//! independent of worker interleaving.
+
+use crate::job::{error_class, JobSpec, WorkloadSource};
+use crate::minimize::minimize;
+use crate::report::{
+    CampaignReport, CampaignSummary, JobRecord, MinimizedRepro, ReplayWindow, Verdict, WallClock,
+};
+use minjie::{run_isolated, CoSimEnd};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use workloads::TortureProgram;
+
+/// Cycle budget for each minimizer re-run (candidates are subsets of an
+/// already-failing program, so they fail — or halt — well within the
+/// original budget).
+const MINIMIZE_MAX_CYCLES: u64 = 20_000_000;
+
+/// A configured campaign: jobs plus execution policy.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The job list (report order).
+    pub jobs: Vec<JobSpec>,
+    /// Worker threads.
+    pub workers: usize,
+    /// Delta-debug diverged torture jobs into minimized reproducers.
+    pub minimize_failures: bool,
+}
+
+impl Campaign {
+    /// A campaign over `jobs` with default policy (4 workers,
+    /// minimization on).
+    pub fn new(jobs: Vec<JobSpec>) -> Self {
+        Campaign {
+            jobs,
+            workers: 4,
+            minimize_failures: true,
+        }
+    }
+
+    /// Set the worker-thread count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enable or disable failure minimization.
+    pub fn with_minimization(mut self, on: bool) -> Self {
+        self.minimize_failures = on;
+        self
+    }
+
+    /// Run every job and assemble the report.
+    pub fn run(&self) -> CampaignReport {
+        let campaign_start = Instant::now();
+        let queue: Arc<Mutex<VecDeque<(usize, JobSpec)>>> =
+            Arc::new(Mutex::new(self.jobs.iter().cloned().enumerate().collect()));
+        let (tx, rx) = mpsc::channel::<(usize, JobRecord, u64)>();
+
+        std::thread::scope(|s| {
+            for _ in 0..self.workers.max(1) {
+                let queue = Arc::clone(&queue);
+                let tx = tx.clone();
+                let minimize_failures = self.minimize_failures;
+                s.spawn(move || loop {
+                    let next = queue.lock().expect("queue lock").pop_front();
+                    let Some((idx, spec)) = next else { break };
+                    let t0 = Instant::now();
+                    let record = execute_job(idx, &spec, minimize_failures);
+                    let ms = t0.elapsed().as_millis() as u64;
+                    if tx.send((idx, record, ms)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<(JobRecord, u64)>> = (0..self.jobs.len()).map(|_| None).collect();
+            for (idx, record, ms) in rx {
+                slots[idx] = Some((record, ms));
+            }
+            let mut jobs = Vec::with_capacity(slots.len());
+            let mut per_job_ms = Vec::with_capacity(slots.len());
+            for slot in slots {
+                let (record, ms) = slot.expect("every job reports exactly once");
+                jobs.push(record);
+                per_job_ms.push(ms);
+            }
+            CampaignReport {
+                workers: self.workers.max(1) as u64,
+                summary: CampaignSummary::tally(&jobs),
+                jobs,
+                wall_clock: WallClock {
+                    total_ms: campaign_start.elapsed().as_millis() as u64,
+                    per_job_ms,
+                },
+            }
+        })
+    }
+}
+
+/// Run one job to a deterministic record.
+fn execute_job(index: usize, spec: &JobSpec, minimize_failures: bool) -> JobRecord {
+    let mut record = JobRecord {
+        index: index as u64,
+        workload: spec.workload.describe(),
+        config: spec.config.clone(),
+        verdict: Verdict::Timeout,
+        cycles: 0,
+        commits_checked: 0,
+        instret: 0,
+        exceptions: 0,
+        ipc: 0.0,
+        rule_counts: Vec::new(),
+        replay: None,
+        minimized: None,
+    };
+    let Some(cfg) = spec.build_config() else {
+        record.verdict = Verdict::Panicked {
+            message: format!("unknown configuration preset `{}`", spec.config),
+        };
+        return record;
+    };
+    let program = spec.workload.build();
+    match run_isolated(cfg, &program, spec.max_cycles, spec.lightsss_interval) {
+        Err(message) => record.verdict = Verdict::Panicked { message },
+        Ok(stats) => {
+            record.cycles = stats.cycles;
+            record.commits_checked = stats.commits_checked;
+            record.instret = stats.instret;
+            record.exceptions = stats.exceptions;
+            record.ipc = if stats.cycles > 0 {
+                (stats.instret as f64 / stats.cycles as f64 * 1000.0).round() / 1000.0
+            } else {
+                0.0
+            };
+            record.rule_counts = stats.rule_counts;
+            record.verdict = match stats.end {
+                CoSimEnd::Halted(exit_code) => Verdict::Halted { exit_code },
+                CoSimEnd::OutOfCycles => Verdict::Timeout,
+                CoSimEnd::Bug(bug) => {
+                    record.replay = bug.replay.as_ref().map(|r| ReplayWindow {
+                        from_cycle: r.from_cycle,
+                        at_cycle: bug.at_cycle,
+                        cycles_replayed: r.cycles_replayed,
+                        reproduced: r.reproduced,
+                        trace_records: r.trace.records,
+                    });
+                    if minimize_failures {
+                        record.minimized = minimize_torture_failure(spec, &bug.error);
+                    }
+                    Verdict::Diverged { error: bug.error }
+                }
+            };
+        }
+    }
+    record
+}
+
+/// Delta-debug a diverged torture job down to a minimized reproducer.
+///
+/// Non-torture workloads return `None`: kernels and inline programs
+/// have no seed-derived slot structure to shrink.
+fn minimize_torture_failure(spec: &JobSpec, error: &minjie::DiffError) -> Option<MinimizedRepro> {
+    let WorkloadSource::Torture { seed, cfg, keep } = &spec.workload else {
+        return None;
+    };
+    let class = error_class(error);
+    let t = TortureProgram::generate(*seed, cfg);
+    let initial = keep.clone().unwrap_or_else(|| vec![true; t.len()]);
+    let budget = spec.max_cycles.min(MINIMIZE_MAX_CYCLES);
+    let outcome = minimize(&initial, |mask| {
+        let program = t.emit_subset(mask);
+        let Some(job_cfg) = spec.build_config() else {
+            return false;
+        };
+        matches!(
+            run_isolated(job_cfg, &program, budget, None),
+            Ok(minjie::RunStats {
+                end: CoSimEnd::Bug(b),
+                ..
+            }) if error_class(&b.error) == class
+        )
+    });
+    let original_kept = initial.iter().filter(|&&k| k).count() as u64;
+    Some(MinimizedRepro {
+        seed: *seed,
+        torture: *cfg,
+        kept: outcome
+            .kept
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| i as u64)
+            .collect(),
+        original_kept,
+        minimized_kept: outcome.kept_count() as u64,
+        error_class: class.to_string(),
+        minimizer_runs: outcome.runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::WorkloadSource;
+    use workloads::TortureConfig;
+
+    fn quick_torture() -> TortureConfig {
+        TortureConfig {
+            body_len: 30,
+            iterations: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn small_parallel_campaign_completes_in_order() {
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|seed| {
+                JobSpec::new(WorkloadSource::torture(seed, quick_torture()), "small-nh")
+                    .with_max_cycles(4_000_000)
+            })
+            .collect();
+        let report = Campaign::new(jobs).with_workers(3).run();
+        assert_eq!(report.jobs.len(), 6);
+        assert_eq!(report.summary.total, 6);
+        assert_eq!(report.summary.halted, 6, "{}", report.deterministic_json());
+        for (i, j) in report.jobs.iter().enumerate() {
+            assert_eq!(j.index, i as u64, "records must be in job order");
+            assert!(j.cycles > 0 && j.ipc > 0.0);
+        }
+        assert_eq!(report.wall_clock.per_job_ms.len(), 6);
+    }
+
+    #[test]
+    fn unknown_preset_is_a_contained_failure() {
+        let jobs = vec![JobSpec::new(
+            WorkloadSource::torture(0, quick_torture()),
+            "not-a-preset",
+        )];
+        let report = Campaign::new(jobs).run();
+        assert_eq!(report.summary.panicked, 1);
+        assert!(matches!(
+            &report.jobs[0].verdict,
+            Verdict::Panicked { message } if message.contains("not-a-preset")
+        ));
+    }
+}

@@ -200,6 +200,82 @@ impl CoSim {
     }
 }
 
+/// Outcome and summary statistics of one isolated co-simulation run.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Why the run ended.
+    pub end: CoSimEnd,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Commits DiffTest verified.
+    pub commits_checked: u64,
+    /// Instructions retired, summed over harts.
+    pub instret: u64,
+    /// Architectural exceptions taken, summed over harts.
+    pub exceptions: u64,
+    /// Diff-rule applications (rule name → count), sorted by name.
+    pub rule_counts: Vec<(String, u64)>,
+}
+
+/// Construct and run a co-simulation inside a panic boundary.
+///
+/// A campaign worker must survive a crashing job: any panic raised while
+/// booting or stepping the simulation is caught and returned as its
+/// message instead of unwinding into the worker's pool. The harness is
+/// rebuilt from scratch inside the boundary, so no partially-unwound
+/// state leaks out.
+///
+/// # Errors
+///
+/// The panic payload (as text) if the simulation panicked.
+pub fn run_isolated(
+    cfg: XsConfig,
+    program: &Program,
+    max_cycles: u64,
+    lightsss_interval: Option<u64>,
+) -> Result<RunStats, String> {
+    let program = program.clone();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut cosim = CoSim::new(cfg, &program);
+        if let Some(iv) = lightsss_interval {
+            cosim = cosim.with_lightsss(iv);
+        }
+        let end = cosim.run(max_cycles);
+        let mut rule_counts: Vec<(String, u64)> = cosim
+            .state
+            .diff
+            .stats
+            .all()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        rule_counts.sort();
+        RunStats {
+            cycles: cosim.state.time(),
+            commits_checked: cosim.state.diff.commits_checked,
+            instret: cosim.state.sys.cores.iter().map(|c| c.instret()).sum(),
+            exceptions: cosim.state.sys.cores.iter().map(|c| c.perf.exceptions).sum(),
+            rule_counts,
+            end,
+        }
+    }))
+    .map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".into())
+    })
+}
+
+// The campaign runner shards CoSims across a worker pool, so the whole
+// harness must cross thread boundaries.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CoSim>();
+    assert_send::<RunStats>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +372,32 @@ mod tests {
             }
             other => panic!("expected a bug, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn isolated_run_matches_direct_run() {
+        let stats = run_isolated(tiny_cfg(1), &branchy_program(), 500_000, None)
+            .expect("no panic");
+        assert!(matches!(stats.end, CoSimEnd::Halted(_)));
+        assert!(stats.commits_checked > 2_000);
+        assert!(stats.instret > 0 && stats.cycles > 0);
+    }
+
+    #[test]
+    fn isolated_run_catches_panics() {
+        // An empty program image makes the frontend fetch unmapped
+        // memory; whatever panic that raises must be contained.
+        let bogus = Program {
+            base: 0x8000_0000,
+            entry: 0x8000_0000,
+            bytes: Vec::new(),
+        };
+        let r = run_isolated(tiny_cfg(1), &bogus, 10_000, None);
+        if let Err(msg) = r {
+            assert!(!msg.is_empty());
+        }
+        // Either outcome is fine — the contract is only that a panic
+        // never unwinds through `run_isolated`.
     }
 
     #[test]

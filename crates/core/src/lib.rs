@@ -44,7 +44,7 @@ pub mod lightsss;
 pub mod rules;
 
 pub use archdb::ArchDb;
-pub use cosim::{BugReport, CoSim, CoSimEnd, CoSimState, ReplayReport};
+pub use cosim::{run_isolated, BugReport, CoSim, CoSimEnd, CoSimState, ReplayReport, RunStats};
 pub use difftest::{DiffError, DiffTest, GlobalMemory, NemuRef, RefModel};
 pub use lightsss::{LightSss, Snapshot, Snapshotable, Sss};
 pub use rules::{compare_csrs, CsrFieldKind, CsrFieldRule, CsrRuleTable, DiffRule, RuleStats};

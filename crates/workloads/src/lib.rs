@@ -24,5 +24,8 @@
 pub mod kernels;
 pub mod torture;
 
-pub use kernels::{all_workloads, workload, Scale, Workload, WorkloadClass};
-pub use torture::{random_program, TortureConfig};
+pub use kernels::{all_workloads, workload, Scale, Workload, WorkloadClass, NAMES};
+pub use torture::{
+    random_program, BodyInstr, BranchKind, CompressedKind, MemAccess, TortureConfig,
+    TortureProgram,
+};

@@ -7,14 +7,23 @@
 //! `a0`. Used by the cross-interpreter and DUT-vs-REF property tests
 //! (the paper uses "existing open-source test generation frameworks" for
 //! exactly this role).
+//!
+//! Generation is split in two phases so failing programs can be
+//! *minimized*: [`TortureProgram::generate`] deterministically derives an
+//! abstract body-instruction list from the seed, and
+//! [`TortureProgram::emit_subset`] assembles any kept-subset of that list
+//! (prologue, loop scaffolding and checksum epilogue always included)
+//! into a runnable [`Program`]. A campaign's delta-debugger shrinks the
+//! kept-mask; `(seed, config, mask)` is a complete reproducer.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use riscv_isa::asm::{reg, Asm, Program};
 use riscv_isa::op::Op;
+use serde::{Deserialize, Serialize};
 
 /// Generator knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TortureConfig {
     /// Instructions per loop body.
     pub body_len: usize,
@@ -48,178 +57,407 @@ const SANDBOX: i64 = 0x8004_0000;
 /// Registers the generator may clobber (x5..x15 plus x28..x31).
 const WINDOW: [u8; 15] = [5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 28, 29, 30, 31];
 
-/// Generate a random terminating program from `seed`.
-pub fn random_program(seed: u64, cfg: &TortureConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut a = Asm::new(0x8000_0000);
-    // Seed the register window with deterministic junk.
-    for (i, &r) in WINDOW.iter().enumerate() {
-        a.li(r, (seed as i64).wrapping_mul(i as i64 + 1) ^ 0x5a5a);
-    }
-    // s2 = sandbox base, s3 = loop counter.
-    a.li(reg::S2, SANDBOX);
-    a.li(reg::S3, cfg.iterations);
-    let top = a.bound_label();
-    let mut skip_to: Option<(riscv_isa::asm::Label, usize)> = None;
-    for i in 0..cfg.body_len {
-        // Close a pending forward branch.
-        if let Some((l, at)) = skip_to {
-            if i >= at {
-                a.bind(l);
-                skip_to = None;
-            }
-        }
+/// Memory-access flavours of a sandboxed [`BodyInstr::Mem`] slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemAccess {
+    /// `sd rt, 0(t4)`
+    Sd,
+    /// `ld rt, 0(t4)`
+    Ld,
+    /// `lw rt, 0(t4)`
+    Lw,
+    /// `lhu rt, 0(t4)`
+    Lhu,
+    /// `lb rt, 0(t4)`
+    Lb,
+}
+
+/// Branch flavours of a [`BodyInstr::Branch`] slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// `beq rs1, rs2, fwd`
+    Beq,
+    /// `bne rs1, rs2, fwd`
+    Bne,
+    /// `blt rs1, rs2, fwd`
+    Blt,
+    /// `bgeu rs1, rs2, fwd`
+    Bgeu,
+}
+
+/// Compressed-instruction flavours of a [`BodyInstr::Compressed`] slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompressedKind {
+    /// `c.addi rd, imm`
+    CAddi {
+        /// Destination register.
+        rd: u8,
+        /// 6-bit signed immediate.
+        imm: i64,
+    },
+    /// `c.li rd, imm`
+    CLi {
+        /// Destination register.
+        rd: u8,
+        /// 6-bit signed immediate.
+        imm: i64,
+    },
+    /// `c.mv rd, rs`
+    CMv {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs: u8,
+    },
+    /// `c.nop`
+    CNop,
+}
+
+/// One abstract body slot of a torture program.
+///
+/// Each slot occupies exactly one index of [`TortureProgram::body`]; a
+/// kept-mask over those indices selects which slots
+/// [`TortureProgram::emit_subset`] assembles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BodyInstr {
+    /// A pre-encoded 4-byte ALU / imm instruction.
+    Encoded(u32),
+    /// `li rd, imm` (wide constant; expands to several instructions).
+    Li {
+        /// Destination register.
+        rd: u8,
+        /// Constant loaded.
+        imm: i64,
+    },
+    /// Sandboxed access: `andi t4, rv, ..; slli ..; add t4, t4, s2` then
+    /// the access on `rt`.
+    Mem {
+        /// Register masked into the sandbox offset.
+        rv: u8,
+        /// Data register stored from / loaded into.
+        rt: u8,
+        /// Access flavour.
+        access: MemAccess,
+    },
+    /// Bounded forward branch binding at body index `until`.
+    Branch {
+        /// Branch flavour.
+        kind: BranchKind,
+        /// First compare operand.
+        rs1: u8,
+        /// Second compare operand.
+        rs2: u8,
+        /// Body index at which the target label binds.
+        until: usize,
+    },
+    /// A compressed (RVC) instruction.
+    Compressed(CompressedKind),
+    /// An empty slot (a branch draw suppressed because another branch
+    /// was still pending). Emits nothing.
+    Skip,
+}
+
+/// A torture program in abstract form: the seed-derived body slots plus
+/// everything needed to re-emit any subset of them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TortureProgram {
+    /// The generating seed.
+    pub seed: u64,
+    /// The generator knobs used.
+    pub cfg: TortureConfig,
+    /// Abstract body slots (length `cfg.body_len`).
+    pub body: Vec<BodyInstr>,
+}
+
+impl TortureProgram {
+    /// Deterministically derive the abstract body from `seed`.
+    pub fn generate(seed: u64, cfg: &TortureConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut body = Vec::with_capacity(cfg.body_len);
+        // `pending_until`: index at which the one outstanding forward
+        // branch binds. Mirrored by emit_subset.
+        let mut pending_until: Option<usize> = None;
         let r = |rng: &mut StdRng| WINDOW[rng.gen_range(0..WINDOW.len())];
-        match rng.gen_range(0..100) {
-            0..=54 => {
-                // Register-register ALU ops.
-                let ops: &[Op] = if cfg.muldiv {
-                    &[
-                        Op::Add,
-                        Op::Sub,
-                        Op::Xor,
-                        Op::Or,
-                        Op::And,
-                        Op::Sll,
-                        Op::Srl,
-                        Op::Sra,
-                        Op::Slt,
-                        Op::Sltu,
-                        Op::Addw,
-                        Op::Subw,
-                        Op::Mul,
-                        Op::Mulh,
-                        Op::Div,
-                        Op::Rem,
-                        Op::Divu,
-                        Op::Remu,
-                        Op::Mulw,
-                        Op::Divw,
-                        Op::Remw,
-                        Op::Andn,
-                        Op::Orn,
-                        Op::Xnor,
-                        Op::Min,
-                        Op::Max,
-                        Op::Minu,
-                        Op::Maxu,
-                        Op::Rol,
-                        Op::Ror,
-                        Op::Sh1add,
-                        Op::Sh2add,
-                        Op::Sh3add,
-                        Op::AddUw,
-                    ]
-                } else {
-                    &[Op::Add, Op::Sub, Op::Xor, Op::Or, Op::And, Op::Sll, Op::Srl]
-                };
-                let op = ops[rng.gen_range(0..ops.len())];
-                let (rd, rs1, rs2) = (r(&mut rng), r(&mut rng), r(&mut rng));
-                a.raw32(
-                    riscv_isa::encode::encode(&riscv_isa::op::DecodedInst {
-                        op,
-                        rd,
-                        rs1,
-                        rs2,
-                        ..Default::default()
-                    })
-                    .expect("alu op encodes"),
-                );
+        for i in 0..cfg.body_len {
+            if let Some(at) = pending_until {
+                if i >= at {
+                    pending_until = None;
+                }
             }
-            55..=74 => {
-                // Register-immediate ops.
-                let ops = [
-                    Op::Addi,
-                    Op::Xori,
-                    Op::Ori,
-                    Op::Andi,
-                    Op::Slti,
-                    Op::Sltiu,
-                    Op::Slli,
-                    Op::Srli,
-                    Op::Srai,
-                    Op::Addiw,
-                    Op::Rori,
-                ];
-                let op = ops[rng.gen_range(0..ops.len())];
-                let imm = if matches!(op, Op::Slli | Op::Srli | Op::Srai | Op::Rori) {
-                    rng.gen_range(0..64)
-                } else {
-                    rng.gen_range(-2048..2048)
-                };
-                a.raw32(
-                    riscv_isa::encode::encode(&riscv_isa::op::DecodedInst {
-                        op,
+            let slot = match rng.gen_range(0..100) {
+                0..=54 => {
+                    // Register-register ALU ops.
+                    let ops: &[Op] = if cfg.muldiv {
+                        &[
+                            Op::Add,
+                            Op::Sub,
+                            Op::Xor,
+                            Op::Or,
+                            Op::And,
+                            Op::Sll,
+                            Op::Srl,
+                            Op::Sra,
+                            Op::Slt,
+                            Op::Sltu,
+                            Op::Addw,
+                            Op::Subw,
+                            Op::Mul,
+                            Op::Mulh,
+                            Op::Div,
+                            Op::Rem,
+                            Op::Divu,
+                            Op::Remu,
+                            Op::Mulw,
+                            Op::Divw,
+                            Op::Remw,
+                            Op::Andn,
+                            Op::Orn,
+                            Op::Xnor,
+                            Op::Min,
+                            Op::Max,
+                            Op::Minu,
+                            Op::Maxu,
+                            Op::Rol,
+                            Op::Ror,
+                            Op::Sh1add,
+                            Op::Sh2add,
+                            Op::Sh3add,
+                            Op::AddUw,
+                        ]
+                    } else {
+                        &[Op::Add, Op::Sub, Op::Xor, Op::Or, Op::And, Op::Sll, Op::Srl]
+                    };
+                    let op = ops[rng.gen_range(0..ops.len())];
+                    let (rd, rs1, rs2) = (r(&mut rng), r(&mut rng), r(&mut rng));
+                    BodyInstr::Encoded(
+                        riscv_isa::encode::encode(&riscv_isa::op::DecodedInst {
+                            op,
+                            rd,
+                            rs1,
+                            rs2,
+                            ..Default::default()
+                        })
+                        .expect("alu op encodes"),
+                    )
+                }
+                55..=74 => {
+                    // Register-immediate ops.
+                    let ops = [
+                        Op::Addi,
+                        Op::Xori,
+                        Op::Ori,
+                        Op::Andi,
+                        Op::Slti,
+                        Op::Sltiu,
+                        Op::Slli,
+                        Op::Srli,
+                        Op::Srai,
+                        Op::Addiw,
+                        Op::Rori,
+                    ];
+                    let op = ops[rng.gen_range(0..ops.len())];
+                    let imm = if matches!(op, Op::Slli | Op::Srli | Op::Srai | Op::Rori) {
+                        rng.gen_range(0..64)
+                    } else {
+                        rng.gen_range(-2048..2048)
+                    };
+                    BodyInstr::Encoded(
+                        riscv_isa::encode::encode(&riscv_isa::op::DecodedInst {
+                            op,
+                            rd: r(&mut rng),
+                            rs1: r(&mut rng),
+                            imm,
+                            ..Default::default()
+                        })
+                        .expect("imm op encodes"),
+                    )
+                }
+                75..=84 if cfg.memory_ops => {
+                    let (rv, rt) = (r(&mut rng), r(&mut rng));
+                    let access = if rng.gen_bool(0.5) {
+                        MemAccess::Sd
+                    } else {
+                        match rng.gen_range(0..4) {
+                            0 => MemAccess::Ld,
+                            1 => MemAccess::Lw,
+                            2 => MemAccess::Lhu,
+                            _ => MemAccess::Lb,
+                        }
+                    };
+                    BodyInstr::Mem { rv, rt, access }
+                }
+                85..=94 if cfg.branches => {
+                    // Bounded forward branch over the next few slots; at
+                    // most one outstanding at a time.
+                    if pending_until.is_some() {
+                        BodyInstr::Skip
+                    } else {
+                        let span = rng.gen_range(1usize..6);
+                        let kind = match rng.gen_range(0..4) {
+                            0 => BranchKind::Beq,
+                            1 => BranchKind::Bne,
+                            2 => BranchKind::Blt,
+                            _ => BranchKind::Bgeu,
+                        };
+                        let (rs1, rs2) = (r(&mut rng), r(&mut rng));
+                        pending_until = Some(i + span);
+                        BodyInstr::Branch {
+                            kind,
+                            rs1,
+                            rs2,
+                            until: i + span,
+                        }
+                    }
+                }
+                95..=97 if cfg.compressed => {
+                    let kind = match rng.gen_range(0..4) {
+                        0 => CompressedKind::CAddi {
+                            rd: r(&mut rng),
+                            imm: rng.gen_range(-32i64..32).max(-32),
+                        },
+                        1 => CompressedKind::CLi {
+                            rd: r(&mut rng),
+                            imm: rng.gen_range(-32..32),
+                        },
+                        2 => CompressedKind::CMv {
+                            rd: r(&mut rng),
+                            rs: r(&mut rng),
+                        },
+                        _ => CompressedKind::CNop,
+                    };
+                    BodyInstr::Compressed(kind)
+                }
+                _ => {
+                    // li with a random wide constant.
+                    BodyInstr::Li {
                         rd: r(&mut rng),
-                        rs1: r(&mut rng),
-                        imm,
-                        ..Default::default()
-                    })
-                    .expect("imm op encodes"),
-                );
-            }
-            75..=84 if cfg.memory_ops => {
-                // Sandboxed store then load: mask an arbitrary register
-                // into [0, 0x7f8] and index off s2.
-                let (rv, rt) = (r(&mut rng), r(&mut rng));
-                a.andi(reg::T4, rv, 0x7f8 >> 2);
-                a.slli(reg::T4, reg::T4, 2);
-                a.add(reg::T4, reg::T4, reg::S2);
-                if rng.gen_bool(0.5) {
-                    a.sd(rt, 0, reg::T4);
-                } else {
-                    match rng.gen_range(0..4) {
-                        0 => a.ld(rt, 0, reg::T4),
-                        1 => a.lw(rt, 0, reg::T4),
-                        2 => a.lhu(rt, 0, reg::T4),
-                        _ => a.lb(rt, 0, reg::T4),
+                        imm: rng.gen::<i64>() >> rng.gen_range(0..32),
                     }
                 }
-            }
-            85..=94 if cfg.branches => {
-                // Bounded forward branch over the next few instructions.
-                if skip_to.is_none() {
-                    let l = a.label();
-                    let span = rng.gen_range(1..6);
-                    match rng.gen_range(0..4) {
-                        0 => a.beq(r(&mut rng), r(&mut rng), l),
-                        1 => a.bne(r(&mut rng), r(&mut rng), l),
-                        2 => a.blt(r(&mut rng), r(&mut rng), l),
-                        _ => a.bgeu(r(&mut rng), r(&mut rng), l),
-                    }
-                    skip_to = Some((l, i + span));
-                }
-            }
-            95..=97 if cfg.compressed => {
-                // Compressed instructions shift the alignment of every
-                // later 4-byte instruction (possibly across 32-byte fetch
-                // blocks), exercising the split-fetch path.
-                match rng.gen_range(0..4) {
-                    0 => a.c_addi(r(&mut rng), rng.gen_range(-32..32).max(-32)),
-                    1 => a.c_li(r(&mut rng), rng.gen_range(-32..32)),
-                    2 => a.c_mv(r(&mut rng), r(&mut rng)),
-                    _ => a.c_nop(),
-                }
-            }
-            _ => {
-                // li with a random wide constant.
-                a.li(r(&mut rng), rng.gen::<i64>() >> rng.gen_range(0..32));
-            }
+            };
+            body.push(slot);
+        }
+        TortureProgram {
+            seed,
+            cfg: *cfg,
+            body,
         }
     }
-    if let Some((l, _)) = skip_to {
-        a.bind(l);
+
+    /// Number of body slots (the kept-mask length).
+    pub fn len(&self) -> usize {
+        self.body.len()
     }
-    a.addi(reg::S3, reg::S3, -1);
-    a.bnez(reg::S3, top);
-    // Checksum the register window into a0.
-    a.li(reg::A0, 0);
-    for &r in &WINDOW {
-        a.add(reg::A0, reg::A0, r);
-        a.rori(reg::A0, reg::A0, 7);
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
     }
-    a.ebreak();
-    a.assemble()
+
+    /// Assemble the full program (every slot kept).
+    pub fn emit(&self) -> Program {
+        self.emit_subset(&vec![true; self.body.len()])
+    }
+
+    /// Assemble a runnable program containing only the body slots whose
+    /// mask entry is `true`.
+    ///
+    /// Register-window seeding, loop scaffolding and the checksum
+    /// epilogue are always emitted, so any subset terminates with an
+    /// exit code. Branch targets stay anchored to *original* body
+    /// indices: a kept branch binds where the remaining kept slots of
+    /// its original span end, so dropping slots can only shorten the
+    /// skipped region, never redirect the branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keep.len() != self.len()`.
+    pub fn emit_subset(&self, keep: &[bool]) -> Program {
+        assert_eq!(
+            keep.len(),
+            self.body.len(),
+            "kept-mask length must equal body length"
+        );
+        let mut a = Asm::new(0x8000_0000);
+        // Seed the register window with deterministic junk.
+        for (i, &r) in WINDOW.iter().enumerate() {
+            a.li(r, (self.seed as i64).wrapping_mul(i as i64 + 1) ^ 0x5a5a);
+        }
+        // s2 = sandbox base, s3 = loop counter.
+        a.li(reg::S2, SANDBOX);
+        a.li(reg::S3, self.cfg.iterations);
+        let top = a.bound_label();
+        let mut pending: Option<(riscv_isa::asm::Label, usize)> = None;
+        for (i, (slot, &kept)) in self.body.iter().zip(keep).enumerate() {
+            if let Some((l, at)) = pending {
+                if i >= at {
+                    a.bind(l);
+                    pending = None;
+                }
+            }
+            if !kept {
+                continue;
+            }
+            match *slot {
+                BodyInstr::Encoded(word) => a.raw32(word),
+                BodyInstr::Li { rd, imm } => a.li(rd, imm),
+                BodyInstr::Mem { rv, rt, access } => {
+                    // Mask an arbitrary register into [0, 0x7f8] and
+                    // index off s2.
+                    a.andi(reg::T4, rv, 0x7f8 >> 2);
+                    a.slli(reg::T4, reg::T4, 2);
+                    a.add(reg::T4, reg::T4, reg::S2);
+                    match access {
+                        MemAccess::Sd => a.sd(rt, 0, reg::T4),
+                        MemAccess::Ld => a.ld(rt, 0, reg::T4),
+                        MemAccess::Lw => a.lw(rt, 0, reg::T4),
+                        MemAccess::Lhu => a.lhu(rt, 0, reg::T4),
+                        MemAccess::Lb => a.lb(rt, 0, reg::T4),
+                    }
+                }
+                BodyInstr::Branch {
+                    kind,
+                    rs1,
+                    rs2,
+                    until,
+                } => {
+                    let l = a.label();
+                    match kind {
+                        BranchKind::Beq => a.beq(rs1, rs2, l),
+                        BranchKind::Bne => a.bne(rs1, rs2, l),
+                        BranchKind::Blt => a.blt(rs1, rs2, l),
+                        BranchKind::Bgeu => a.bgeu(rs1, rs2, l),
+                    }
+                    pending = Some((l, until));
+                }
+                BodyInstr::Compressed(kind) => match kind {
+                    CompressedKind::CAddi { rd, imm } => a.c_addi(rd, imm),
+                    CompressedKind::CLi { rd, imm } => a.c_li(rd, imm),
+                    CompressedKind::CMv { rd, rs } => a.c_mv(rd, rs),
+                    CompressedKind::CNop => a.c_nop(),
+                },
+                BodyInstr::Skip => {}
+            }
+        }
+        if let Some((l, _)) = pending {
+            a.bind(l);
+        }
+        a.addi(reg::S3, reg::S3, -1);
+        a.bnez(reg::S3, top);
+        // Checksum the register window into a0.
+        a.li(reg::A0, 0);
+        for &r in &WINDOW {
+            a.add(reg::A0, reg::A0, r);
+            a.rori(reg::A0, reg::A0, 7);
+        }
+        a.ebreak();
+        a.assemble()
+    }
+}
+
+/// Generate a random terminating program from `seed` (every slot kept).
+pub fn random_program(seed: u64, cfg: &TortureConfig) -> Program {
+    TortureProgram::generate(seed, cfg).emit()
 }
 
 #[cfg(test)]
@@ -235,6 +473,43 @@ mod tests {
         let c = random_program(43, &cfg);
         assert_eq!(a.bytes, b.bytes);
         assert_ne!(a.bytes, c.bytes);
+    }
+
+    #[test]
+    fn abstract_body_is_deterministic_and_masks_re_emit() {
+        let cfg = TortureConfig::default();
+        let t1 = TortureProgram::generate(11, &cfg);
+        let t2 = TortureProgram::generate(11, &cfg);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), cfg.body_len);
+        assert_eq!(t1.emit().bytes, random_program(11, &cfg).bytes);
+        // Emitting with every other slot dropped yields a shorter body.
+        let keep: Vec<bool> = (0..t1.len()).map(|i| i % 2 == 0).collect();
+        let partial = t1.emit_subset(&keep);
+        assert!(partial.bytes.len() < t1.emit().bytes.len());
+    }
+
+    #[test]
+    fn every_subset_terminates_and_matches_reference() {
+        // Masked-out slots must never break the loop scaffolding: run a
+        // handful of subset shapes through two interpreters.
+        let cfg = TortureConfig::default();
+        let t = TortureProgram::generate(9, &cfg);
+        let masks: Vec<Vec<bool>> = vec![
+            vec![false; t.len()],
+            (0..t.len()).map(|i| i % 3 == 0).collect(),
+            (0..t.len()).map(|i| i < t.len() / 2).collect(),
+            (0..t.len()).map(|i| i >= t.len() / 2).collect(),
+        ];
+        for (mi, keep) in masks.iter().enumerate() {
+            let p = t.emit_subset(keep);
+            let mut n = Nemu::new(&p);
+            let mut d = DromajoLike::new(&p);
+            let rn = n.run(10_000_000);
+            assert!(rn.exit_code.is_some(), "mask {mi} did not halt");
+            assert_eq!(rn.exit_code, d.run(10_000_000).exit_code, "mask {mi}");
+            assert_eq!(n.hart().state.gpr, d.hart().state.gpr, "mask {mi}");
+        }
     }
 
     #[test]

@@ -39,6 +39,19 @@ impl MemoryModel {
     }
 }
 
+/// A deliberate DUT corruption for verification-flow testing.
+///
+/// The campaign runner's acceptance test arms one of these to prove the
+/// whole catch → minimize → report pipeline works end to end; they are
+/// never enabled in any preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectedBug {
+    /// Flip the low bit of every `Mul` writeback value.
+    MulLowBit,
+    /// Drop the sign extension of every `Addw` writeback value.
+    AddwNoSext,
+}
+
 /// Full core + uncore configuration (Table II).
 #[derive(Debug, Clone)]
 pub struct XsConfig {
@@ -118,6 +131,9 @@ pub struct XsConfig {
     /// Store-buffer drain delay in cycles (models lazily draining
     /// committed stores — the source of the Fig. 3 TLB scenario).
     pub sbuffer_drain_delay: u64,
+    /// Deliberate DUT corruption for verification-flow tests (never set
+    /// by any preset).
+    pub injected_bug: Option<InjectedBug>,
 }
 
 impl XsConfig {
@@ -162,6 +178,7 @@ impl XsConfig {
             memory: MemoryModel::Ddr4_1600,
             sc_timeout_cycles: u64::MAX,
             sbuffer_drain_delay: 20,
+            injected_bug: None,
         }
     }
 
@@ -204,6 +221,7 @@ impl XsConfig {
             memory: MemoryModel::Ddr4_2400,
             sc_timeout_cycles: u64::MAX,
             sbuffer_drain_delay: 20,
+            injected_bug: None,
         }
     }
 
@@ -212,6 +230,54 @@ impl XsConfig {
         let mut c = Self::nh();
         c.cores = 2;
         c
+    }
+
+    /// NH with caches shrunk to a few KB and a fixed-AMAT memory, so
+    /// cache- and memory-boundary behaviour shows up within test-sized
+    /// workloads. The verification suite's default DiffTest target.
+    pub fn small_nh() -> Self {
+        let mut c = Self::nh();
+        c.name = "small-NH".into();
+        c.l1i = CacheConfig::new("l1i", 8192, 2, 2, 4);
+        c.l1d = CacheConfig::new("l1d", 8192, 2, 4, 8);
+        c.l2 = CacheConfig::new("l2", 32768, 4, 10, 8);
+        c.l3 = Some(CacheConfig::new("l3", 131072, 4, 20, 16));
+        c.memory = MemoryModel::FixedAmat(40);
+        c
+    }
+
+    /// YQH with a fixed-AMAT memory, sized for test workloads.
+    pub fn small_yqh() -> Self {
+        let mut c = Self::yqh();
+        c.name = "small-YQH".into();
+        c.memory = MemoryModel::FixedAmat(60);
+        c
+    }
+
+    /// Every named preset, for campaign-style enumeration.
+    ///
+    /// The slugs are stable identifiers: campaign reports and the
+    /// `campaign` CLI refer to configurations by these names.
+    pub fn preset_names() -> &'static [&'static str] {
+        &["yqh", "nh", "nh-dual", "small-nh", "small-yqh"]
+    }
+
+    /// Look up a preset by slug (see [`XsConfig::preset_names`]).
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "yqh" => Some(Self::yqh()),
+            "nh" => Some(Self::nh()),
+            "nh-dual" => Some(Self::nh_dual()),
+            "small-nh" => Some(Self::small_nh()),
+            "small-yqh" => Some(Self::small_yqh()),
+            _ => None,
+        }
+    }
+
+    /// Arm a deliberate DUT bug (verification-flow tests only).
+    pub fn with_injected_bug(mut self, bug: InjectedBug) -> Self {
+        self.injected_bug = Some(bug);
+        self
     }
 
     /// Shrink the LLC (Fig. 12's 2 MB / 4 MB FPGA configurations).
@@ -390,6 +456,21 @@ mod tests {
         assert!(t.contains("NH"));
         assert!(t.contains("192/64/48"));
         assert!(t.contains("256/80/64"));
+    }
+
+    #[test]
+    fn preset_lookup_round_trips() {
+        for &name in XsConfig::preset_names() {
+            let c = XsConfig::preset(name).unwrap_or_else(|| panic!("preset {name} missing"));
+            assert!(c.injected_bug.is_none(), "{name} must ship without bugs");
+        }
+        assert!(XsConfig::preset("no-such-config").is_none());
+        assert_eq!(XsConfig::preset("small-nh").unwrap().l1d.size, 8192);
+        assert_eq!(XsConfig::preset("nh-dual").unwrap().cores, 2);
+        assert!(matches!(
+            XsConfig::preset("small-yqh").unwrap().memory,
+            MemoryModel::FixedAmat(60)
+        ));
     }
 
     #[test]

@@ -511,6 +511,9 @@ impl Core {
             value = r.bits;
             fflags = r.flags;
         }
+        if let Some(bug) = self.cfg.injected_bug {
+            value = apply_injected_bug(bug, d.op, value);
+        }
 
         let e = self.rob.get_mut(seq).expect("entry exists");
         e.wb_value = value;
@@ -1891,6 +1894,16 @@ impl Core {
                 self.reservation = None;
             }
         }
+    }
+}
+
+/// Corrupt a writeback value according to an armed [`InjectedBug`].
+fn apply_injected_bug(bug: crate::config::InjectedBug, op: Op, value: u64) -> u64 {
+    use crate::config::InjectedBug::*;
+    match bug {
+        MulLowBit if op == Op::Mul => value ^ 1,
+        AddwNoSext if op == Op::Addw => value & 0xffff_ffff,
+        _ => value,
     }
 }
 

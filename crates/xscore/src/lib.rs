@@ -40,7 +40,7 @@ pub mod tage;
 pub mod tlbs;
 pub mod uop;
 
-pub use config::{IssuePolicy, MemoryModel, XsConfig};
+pub use config::{InjectedBug, IssuePolicy, MemoryModel, XsConfig};
 pub use core::{Core, CycleOutput};
 pub use perf::PerfCounters;
 pub use system::XsSystem;

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Every PR must pass this script unchanged:
+#
+#   1. release build of the whole workspace,
+#   2. the full test suite (unit + integration + property + doc tests),
+#   3. a smoke verification campaign — 2 workloads x 2 configs x 4
+#      torture seeds (12 jobs) sharded over 4 workers, with a hard
+#      wall-clock timeout and a JSON-validity check on the report.
+#
+# The campaign step is what the paper calls the verification flow: any
+# DUT regression that makes a workload diverge, hang, or panic fails
+# the gate with a minimized reproducer in the report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== tier-1: cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== tier-1: smoke campaign (2 workloads x 2 configs x 4 seeds) =="
+report="$(mktemp /tmp/campaign-smoke.XXXXXX.json)"
+trap 'rm -f "$report"' EXIT
+timeout 600 target/release/campaign \
+    --workloads mcf,libquantum \
+    --configs small-nh,small-yqh \
+    --torture-seeds 0..4 \
+    --workers 4 \
+    --out "$report"
+
+python3 - "$report" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema_version"] == 1, r["schema_version"]
+s = r["summary"]
+assert s["total"] == 12 and s["halted"] == 12, s
+assert len(r["jobs"]) == 12
+assert all(j["cycles"] > 0 and j["commits_checked"] > 0 for j in r["jobs"])
+assert "timing" in r
+print("smoke campaign report OK:", s)
+EOF
+
+echo "== tier-1 gate passed =="

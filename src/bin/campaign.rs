@@ -1,0 +1,174 @@
+//! DiffTest campaign CLI: shard a workload × config × seed matrix
+//! across a worker pool and emit a machine-readable JSON report.
+//!
+//! ```text
+//! campaign [--workloads mcf,lbm] [--configs small-nh,small-yqh]
+//!          [--torture-seeds 0..8] [--workers 4] [--max-cycles 40000000]
+//!          [--lightsss N] [--inject-bug mul-low-bit|addw-no-sext]
+//!          [--no-minimize] [--out report.json]
+//! ```
+//!
+//! The job list is the cross product of every named workload and every
+//! torture seed with every config, in that order, so reports are
+//! deterministic for a given command line. Exit status: 0 when every
+//! job halts, 1 on any divergence/timeout/panic, 2 on usage errors.
+
+use campaign::{Campaign, JobSpec, Verdict, WorkloadSource};
+use workloads::TortureConfig;
+use xscore::{InjectedBug, XsConfig};
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: campaign [--workloads k1,k2] [--configs c1,c2] [--torture-seeds A..B|s1,s2]\n\
+         \x20               [--workers N] [--max-cycles N] [--lightsss N]\n\
+         \x20               [--inject-bug mul-low-bit|addw-no-sext] [--no-minimize] [--out FILE]\n\
+         kernels: {}\n\
+         configs: {}",
+        workloads::NAMES.join(", "),
+        XsConfig::preset_names().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_seeds(spec: &str) -> Vec<u64> {
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let lo: u64 = lo.parse().unwrap_or_else(|_| usage("bad seed range"));
+        let hi: u64 = hi.parse().unwrap_or_else(|_| usage("bad seed range"));
+        (lo..hi).collect()
+    } else {
+        spec.split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap_or_else(|_| usage("bad seed list")))
+            .collect()
+    }
+}
+
+fn main() {
+    let mut kernels: Vec<String> = Vec::new();
+    let mut configs: Vec<String> = vec!["small-nh".into()];
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut workers = 4usize;
+    let mut max_cycles = 40_000_000u64;
+    let mut lightsss: Option<u64> = None;
+    let mut inject: Option<InjectedBug> = None;
+    let mut minimize = true;
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| usage("missing value for flag"))
+        };
+        match flag.as_str() {
+            "--workloads" => {
+                kernels = value().split(',').map(str::to_string).collect();
+            }
+            "--configs" => {
+                configs = value().split(',').map(str::to_string).collect();
+            }
+            "--torture-seeds" => seeds = parse_seeds(&value()),
+            "--workers" => {
+                workers = value().parse().unwrap_or_else(|_| usage("bad --workers"));
+            }
+            "--max-cycles" => {
+                max_cycles = value().parse().unwrap_or_else(|_| usage("bad --max-cycles"));
+            }
+            "--lightsss" => {
+                lightsss = Some(value().parse().unwrap_or_else(|_| usage("bad --lightsss")));
+            }
+            "--inject-bug" => {
+                inject = Some(match value().as_str() {
+                    "mul-low-bit" => InjectedBug::MulLowBit,
+                    "addw-no-sext" => InjectedBug::AddwNoSext,
+                    _ => usage("unknown --inject-bug"),
+                });
+            }
+            "--no-minimize" => minimize = false,
+            "--out" => out = Some(value()),
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    for c in &configs {
+        if XsConfig::preset(c).is_none() {
+            usage(&format!("unknown config preset `{c}`"));
+        }
+    }
+    for k in &kernels {
+        if !workloads::NAMES.contains(&k.as_str()) {
+            usage(&format!("unknown workload `{k}`"));
+        }
+    }
+    if kernels.is_empty() && seeds.is_empty() {
+        usage("nothing to run: give --workloads and/or --torture-seeds");
+    }
+
+    let torture_cfg = TortureConfig::default();
+    let mut jobs = Vec::new();
+    for config in &configs {
+        for k in &kernels {
+            jobs.push((WorkloadSource::kernel(k.clone()), config.clone()));
+        }
+        for &seed in &seeds {
+            jobs.push((WorkloadSource::torture(seed, torture_cfg), config.clone()));
+        }
+    }
+    let jobs: Vec<JobSpec> = jobs
+        .into_iter()
+        .map(|(source, config)| {
+            let mut spec = JobSpec::new(source, config).with_max_cycles(max_cycles);
+            if let Some(interval) = lightsss {
+                spec = spec.with_lightsss(interval);
+            }
+            if let Some(bug) = inject {
+                spec = spec.with_injected_bug(bug);
+            }
+            spec
+        })
+        .collect();
+
+    eprintln!("campaign: {} jobs on {} workers", jobs.len(), workers);
+    let report = Campaign::new(jobs)
+        .with_workers(workers)
+        .with_minimization(minimize)
+        .run();
+
+    for j in &report.jobs {
+        let extra = match (&j.verdict, &j.minimized) {
+            (Verdict::Diverged { .. }, Some(m)) => format!(
+                " minimized {}→{} slots in {} runs",
+                m.original_kept, m.minimized_kept, m.minimizer_runs
+            ),
+            (Verdict::Panicked { message }, _) => format!(" ({message})"),
+            _ => String::new(),
+        };
+        eprintln!(
+            "  [{:>3}] {:<24} {:<10} {:<8} cycles={} ipc={:.3}{extra}",
+            j.index,
+            j.workload,
+            j.config,
+            j.verdict.label(),
+            j.cycles,
+            j.ipc
+        );
+    }
+    let s = &report.summary;
+    eprintln!(
+        "summary: {} jobs — {} halted, {} diverged, {} timeout, {} panicked ({} ms)",
+        s.total, s.halted, s.diverged, s.timeout, s.panicked, report.wall_clock.total_ms
+    );
+
+    let json = report.full_json();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| usage(&format!("write {path}: {e}")));
+            eprintln!("report: {path}");
+        }
+        None => println!("{json}"),
+    }
+    if s.halted != s.total {
+        std::process::exit(1);
+    }
+}

@@ -1,60 +1,68 @@
 //! Cross-crate integration: DiffTest over the full workload suite and
 //! torture-generated programs (DUT = xscore cycle model, REF = NEMU).
+//!
+//! The matrices run through the campaign runner (`crates/campaign`), so
+//! the same sharding, panic isolation, and report plumbing the
+//! verification campaigns use is exercised on every tier-1 run. Only
+//! `fault_injection_is_always_caught` still drives `CoSim` directly —
+//! it mutates architectural state mid-run, which is not a thing a
+//! declarative job spec can describe.
 
+use campaign::{Campaign, CampaignReport, JobSpec, Verdict, WorkloadSource};
 use minjie::{CoSim, CoSimEnd};
-use workloads::{all_workloads, random_program, Scale, TortureConfig};
+use workloads::{Scale, TortureConfig};
 use xscore::XsConfig;
 
-fn small_nh() -> XsConfig {
-    let mut c = XsConfig::nh();
-    c.l1i = uncore::CacheConfig::new("l1i", 8192, 2, 2, 4);
-    c.l1d = uncore::CacheConfig::new("l1d", 8192, 2, 4, 8);
-    c.l2 = uncore::CacheConfig::new("l2", 32768, 4, 10, 8);
-    c.l3 = Some(uncore::CacheConfig::new("l3", 131072, 4, 20, 16));
-    c.memory = xscore::MemoryModel::FixedAmat(40);
-    c
+/// Run `jobs` on the default worker pool and require a clean sweep.
+fn run_all_halted(jobs: Vec<JobSpec>) -> CampaignReport {
+    let report = Campaign::new(jobs).with_workers(4).run();
+    assert_eq!(
+        report.summary.halted,
+        report.summary.total,
+        "campaign had non-halting jobs: {}",
+        report.deterministic_json()
+    );
+    report
 }
 
 #[test]
 fn every_workload_passes_difftest_on_nh() {
-    for w in all_workloads(Scale::Test) {
-        let mut cosim = CoSim::new(small_nh(), &w.program);
-        match cosim.run(80_000_000) {
-            CoSimEnd::Halted(_) => {}
-            other => panic!("{}: {other:?}", w.name),
-        }
+    let jobs = workloads::NAMES
+        .iter()
+        .map(|name| {
+            JobSpec::new(WorkloadSource::kernel(*name), "small-nh").with_max_cycles(80_000_000)
+        })
+        .collect();
+    let report = run_all_halted(jobs);
+    for j in &report.jobs {
         assert!(
-            cosim.state.diff.commits_checked > 3_000,
-            "{} checked too few commits",
-            w.name
+            j.commits_checked > 3_000,
+            "{} checked too few commits ({})",
+            j.workload,
+            j.commits_checked
         );
+        assert!(j.ipc > 0.0, "{} reported no IPC", j.workload);
     }
 }
 
 #[test]
 fn every_workload_passes_difftest_on_yqh() {
-    let mut cfg = XsConfig::yqh();
-    cfg.memory = xscore::MemoryModel::FixedAmat(60);
-    for w in all_workloads(Scale::Test) {
-        let mut cosim = CoSim::new(cfg.clone(), &w.program);
-        match cosim.run(80_000_000) {
-            CoSimEnd::Halted(_) => {}
-            other => panic!("{}: {other:?}", w.name),
-        }
-    }
+    let jobs = workloads::NAMES
+        .iter()
+        .map(|name| {
+            JobSpec::new(WorkloadSource::kernel(*name), "small-yqh").with_max_cycles(80_000_000)
+        })
+        .collect();
+    run_all_halted(jobs);
 }
 
 #[test]
 fn torture_programs_pass_difftest() {
     let cfg = TortureConfig::default();
-    for seed in 0..12 {
-        let p = random_program(seed, &cfg);
-        let mut cosim = CoSim::new(small_nh(), &p);
-        match cosim.run(40_000_000) {
-            CoSimEnd::Halted(_) => {}
-            other => panic!("seed {seed}: {other:?}"),
-        }
-    }
+    let jobs = (0..12)
+        .map(|seed| JobSpec::new(WorkloadSource::torture(seed, cfg), "small-nh"))
+        .collect();
+    run_all_halted(jobs);
 }
 
 #[test]
@@ -67,14 +75,10 @@ fn torture_without_branches_or_memory() {
         iterations: 30,
         compressed: false,
     };
-    for seed in 100..106 {
-        let p = random_program(seed, &cfg);
-        let mut cosim = CoSim::new(small_nh(), &p);
-        assert!(
-            matches!(cosim.run(40_000_000), CoSimEnd::Halted(_)),
-            "seed {seed}"
-        );
-    }
+    let jobs = (100..106)
+        .map(|seed| JobSpec::new(WorkloadSource::torture(seed, cfg), "small-nh"))
+        .collect();
+    run_all_halted(jobs);
 }
 
 #[test]
@@ -85,14 +89,10 @@ fn torture_with_compressed_instructions_passes_difftest() {
         compressed: true,
         ..Default::default()
     };
-    for seed in 200..210 {
-        let p = random_program(seed, &cfg);
-        let mut cosim = CoSim::new(small_nh(), &p);
-        match cosim.run(40_000_000) {
-            CoSimEnd::Halted(_) => {}
-            other => panic!("seed {seed}: {other:?}"),
-        }
-    }
+    let jobs = (200..210)
+        .map(|seed| JobSpec::new(WorkloadSource::torture(seed, cfg), "small-nh"))
+        .collect();
+    run_all_halted(jobs);
 }
 
 #[test]
@@ -101,8 +101,9 @@ fn fault_injection_is_always_caught() {
     // DiffTest report, never a silent pass (on this branch-heavy kernel
     // every register feeds the outputs).
     let w = workloads::workload("sjeng", Scale::Test);
+    let cfg = || XsConfig::preset("small-nh").expect("preset exists");
     for (reg, when) in [(10u8, 5_000u64), (18, 9_000), (8, 14_000)] {
-        let mut cosim = CoSim::new(small_nh(), &w.program).with_lightsss(2_000);
+        let mut cosim = CoSim::new(cfg(), &w.program).with_lightsss(2_000);
         let mut armed = true;
         let mut caught = false;
         for _ in 0..40_000_000u64 {
@@ -119,5 +120,25 @@ fn fault_injection_is_always_caught() {
             }
         }
         assert!(caught, "fault in x{reg} at {when} must be detected");
+    }
+}
+
+#[test]
+fn verdicts_carry_the_halt_exit_code() {
+    // The campaign records the same exit codes a direct run reports.
+    let w = workloads::workload("mcf", Scale::Test);
+    let direct = match CoSim::new(XsConfig::preset("small-nh").unwrap(), &w.program).run(80_000_000)
+    {
+        CoSimEnd::Halted(code) => code,
+        other => panic!("{other:?}"),
+    };
+    let report = run_all_halted(vec![JobSpec::new(
+        WorkloadSource::kernel("mcf"),
+        "small-nh",
+    )
+    .with_max_cycles(80_000_000)]);
+    match &report.jobs[0].verdict {
+        Verdict::Halted { exit_code } => assert_eq!(*exit_code, direct),
+        other => panic!("{other:?}"),
     }
 }

@@ -1,0 +1,55 @@
+//! Golden-trace regression tests (ISSUE satellite): three small
+//! workloads run on the NH preset and must match a recorded
+//! `(commit count, final x10, IPC-to-3-decimals)` triple *exactly*.
+//! Any drift in fetch, scheduling, the cache model, or DiffTest
+//! accounting shows up here before it shows up as a silent perf or
+//! correctness regression. If a change legitimately alters these
+//! numbers, re-harvest them with a campaign run and say why in the
+//! commit message.
+
+use campaign::{Campaign, JobSpec, Verdict, WorkloadSource};
+
+/// `(kernel, commits checked, final x10, IPC to 3 decimals)` on NH.
+const GOLDEN: [(&str, u64, u64, f64); 3] = [
+    ("mcf", 20_647, 0xbb1c4, 0.302),
+    ("libquantum", 57_374, 0x8, 1.733),
+    ("lbm", 68_575, 0x0, 0.346),
+];
+
+#[test]
+fn golden_traces_match_exactly_on_nh() {
+    let jobs: Vec<JobSpec> = GOLDEN
+        .iter()
+        .map(|(kernel, ..)| JobSpec::new(WorkloadSource::kernel(*kernel), "nh"))
+        .collect();
+    let report = Campaign::new(jobs).with_workers(3).run();
+
+    for (j, &(kernel, commits, x10, ipc)) in report.jobs.iter().zip(GOLDEN.iter()) {
+        let exit = match &j.verdict {
+            Verdict::Halted { exit_code } => *exit_code,
+            other => panic!("{kernel} did not halt on NH: {other:?}"),
+        };
+        assert_eq!(
+            (j.commits_checked, exit, j.ipc),
+            (commits, x10, ipc),
+            "golden trace drifted for {kernel} on NH"
+        );
+    }
+}
+
+#[test]
+fn golden_traces_are_stable_across_reruns() {
+    // The same job twice in one campaign must produce identical records
+    // (guards against hidden global state in the simulator).
+    let jobs = vec![
+        JobSpec::new(WorkloadSource::kernel("mcf"), "nh"),
+        JobSpec::new(WorkloadSource::kernel("mcf"), "nh"),
+    ];
+    let report = Campaign::new(jobs).with_workers(2).run();
+    let [a, b] = &report.jobs[..] else {
+        panic!("expected two records");
+    };
+    assert_eq!(a.commits_checked, b.commits_checked);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.ipc, b.ipc);
+}

@@ -1,0 +1,179 @@
+//! Vendored `criterion` stand-in for the offline build environment.
+//!
+//! A timing-only micro-benchmark harness behind the subset of the
+//! criterion API this workspace uses: [`Criterion`] with the
+//! `sample_size`/`measurement_time`/`warm_up_time` builders,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros. Reports mean/min per-iteration wall time;
+//! no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        if b.per_iter.is_empty() {
+            println!("{name:<40} (no measurements)");
+            return self;
+        }
+        let mean = b.per_iter.iter().sum::<f64>() / b.per_iter.len() as f64;
+        let min = b.per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{name:<40} mean {:>12} min {:>12} ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            b.per_iter.len()
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly: warm-up first, then `samples`
+    /// batches within the measurement budget.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up, and calibrate the batch size to ~1ms per batch.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            calls += 1;
+        }
+        let warm_elapsed = warm_start.elapsed().as_nanos().max(1) as u64;
+        let per_call = (warm_elapsed / calls.max(1)).max(1);
+        let batch = (1_000_000 / per_call).clamp(1, 1_000_000);
+
+        let run_start = Instant::now();
+        for _ in 0..self.samples {
+            if run_start.elapsed() > self.budget {
+                break;
+            }
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            self.per_iter.push(dt / batch as f64);
+        }
+        if self.per_iter.is_empty() {
+            // Budget exhausted during warm-up: record one batch anyway.
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.per_iter.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Declare a benchmark group (vendored subset).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark entry point (vendored subset).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut x = 0u64;
+        c.bench_function("spin", |b| b.iter(|| x = x.wrapping_add(1)));
+        assert!(x > 0);
+    }
+}

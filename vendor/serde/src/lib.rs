@@ -1,0 +1,664 @@
+//! Vendored `serde` facade for the offline build environment.
+//!
+//! The build container has no network access and an empty crates.io
+//! cache, so the real `serde` cannot be fetched. This crate provides the
+//! subset the workspace actually uses, over a simplified data model: a
+//! single JSON-like [`Value`] tree.
+//!
+//! - [`Serialize`] — `fn serialize(&self) -> Value`,
+//! - [`Deserialize`] — `fn deserialize(&Value) -> Result<Self, Error>`,
+//! - `#[derive(Serialize, Deserialize)]` via the vendored `serde_derive`
+//!   (externally tagged enums, named-field structs),
+//! - impls for primitives, `String`, `Option`, `Vec`, arrays, tuples,
+//!   and string-keyed maps.
+//!
+//! Integer fidelity matters to this workspace (`u64` register values
+//! round-trip through JSON), so [`Value`] keeps `U64`/`I64`/`F64`
+//! variants distinct rather than collapsing to `f64`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// String-keyed object map (ordered, like serde_json's default `Map`).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON-like value tree — the facade's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (kept exact).
+    U64(u64),
+    /// Negative (or explicitly signed) integer (kept exact).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (ordered by key).
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Externally-tagged single-entry object: `{"Tag": inner}`.
+    pub fn tagged(tag: &str, inner: Value) -> Value {
+        let mut m = Map::new();
+        m.insert(tag.to_string(), inner);
+        Value::Object(m)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup, `Null` when absent (derive support).
+    pub fn get_or_null(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    /// Array element lookup, `Null` when absent (derive support).
+    pub fn idx_or_null(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// For a single-entry object, its `(key, value)` pair.
+    pub fn as_single_entry(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(m) if m.len() == 1 => {
+                m.iter().next().map(|(k, v)| (k.as_str(), v))
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Value::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True when `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get_or_null(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        self.idx_or_null(i)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(*other as i64)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        if v >= 0 {
+            Value::U64(v as u64)
+        } else {
+            Value::I64(v)
+        }
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::from(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can project themselves into a [`Value`].
+pub trait Serialize {
+    /// Project into the JSON-like data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct from the JSON-like data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::from(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| Error::custom("expected f32"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+        if a.len() != N {
+            return Err(Error::custom("array length mismatch"));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(a) {
+            *slot = T::deserialize(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($t:ident : $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::deserialize(v.idx_or_null($idx))?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+    }
+}
+impl<V: Serialize> Serialize for BTreeMap<&str, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = v.as_object().ok_or_else(|| Error::custom("expected object"))?;
+        m.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        // Sort for deterministic output.
+        let mut sorted: Vec<(&String, &V)> = self.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            sorted
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = v.as_object().ok_or_else(|| Error::custom("expected object"))?;
+        m.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// --- JSON text rendering (shared by Display and serde_json) ----------------
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        write_json(self, &mut s, None, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Append the JSON text of `v` to `out`. `indent = Some(width)` selects
+/// pretty-printing at nesting `level`.
+pub fn write_json(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => {
+            if n.is_finite() {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    // Keep a decimal point so the value parses back as F64.
+                    out.push_str(&format!("{n:.1}"));
+                } else {
+                    out.push_str(&n.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_json_string(s, out),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_json(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_json_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(val, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_indexing_and_eq() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::U64(7));
+        m.insert("s".into(), Value::from("hi"));
+        let v = Value::Object(m);
+        assert_eq!(v["a"], 7u64);
+        assert_eq!(v["a"], 7);
+        assert_eq!(v["s"], "hi");
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&u64::MAX.serialize()).unwrap(), u64::MAX);
+        assert_eq!(i64::deserialize(&(-5i64).serialize()).unwrap(), -5);
+        assert_eq!(
+            <Option<u8>>::deserialize(&None::<u8>.serialize()).unwrap(),
+            None
+        );
+        let arr = [1u64, 2, 3];
+        assert_eq!(<[u64; 3]>::deserialize(&arr.serialize()).unwrap(), arr);
+        let t = (true, 3u8, 9u64);
+        assert_eq!(
+            <(bool, u8, u64)>::deserialize(&t.serialize()).unwrap(),
+            t
+        );
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Array(vec![Value::from("a\"b"), Value::U64(1), Value::Null]);
+        assert_eq!(v.to_string(), r#"["a\"b",1,null]"#);
+    }
+}

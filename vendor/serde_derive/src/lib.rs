@@ -1,0 +1,370 @@
+//! Vendored `serde_derive` stand-in for the offline build environment.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` facade (whose data model is a single JSON-like
+//! [`Value`] tree) without depending on `syn`/`quote`: the item is parsed
+//! directly from the `proc_macro::TokenStream`.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! - structs with named fields,
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   matching serde's default JSON representation).
+//!
+//! Generic types are intentionally rejected; none of the workspace's
+//! serialized types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize` (facade: `fn serialize(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize` (facade: `fn deserialize(&Value) -> Result<Self, Error>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&toks, i).ok_or("expected item name")?;
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde_derive (vendored) does not support generic type `{name}`"));
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            _ => Err(format!("unsupported struct shape for `{name}` (tuple structs are not derivable)")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attributes, doc comments, and a leading visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]`
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(super)` / ...
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip tokens until a `,` at angle-bracket depth 0 (used to skip types
+/// and discriminant expressions). Leaves the index past the comma.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i).ok_or("expected field name")?;
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_to_comma(&toks, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i).ok_or("expected variant name")?;
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Explicit discriminant (`= 11`) and/or the separating comma.
+        skip_to_comma(&toks, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn tuple_arity(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut commas = 0usize;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+// --- codegen ---------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Struct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert(::std::string::String::from({f:?}), ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::tagged({vn:?}, ::serde::Serialize::serialize(f0)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let mut inner = String::from("let mut a = ::std::vec::Vec::new();\n");
+                        for b in &binds {
+                            inner.push_str(&format!(
+                                "a.push(::serde::Serialize::serialize({b}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ {inner} ::serde::Value::tagged({vn:?}, ::serde::Value::Array(a)) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = String::from("let mut m = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "m.insert(::std::string::String::from({f:?}), ::serde::Serialize::serialize({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} ::serde::Value::tagged({vn:?}, ::serde::Value::Object(m)) }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn serialize(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}\n}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn deserialize(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name})\n\
+               }}\n\
+             }}"
+        ),
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(v.get_or_null({f:?}))?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name} {{ {body} }})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let args: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::deserialize(inner.idx_or_null({k}))?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn}({})),\n",
+                            args.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(inner.get_or_null({f:?}))?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     if let ::serde::Value::String(s) = v {{\n\
+                       match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                     }}\n\
+                     if let ::std::option::Option::Some((tag, inner)) = v.as_single_entry() {{\n\
+                       match tag {{ {tagged_arms} _ => {{}} }}\n\
+                     }}\n\
+                     ::std::result::Result::Err(::serde::Error::custom(concat!(\"no variant of `\", stringify!({name}), \"` matched\")))\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
