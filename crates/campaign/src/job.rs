@@ -99,6 +99,8 @@ pub struct JobSpec {
     pub max_cycles: u64,
     /// LightSSS snapshot interval (None disables snapshots).
     pub lightsss_interval: Option<u64>,
+    /// Enable per-cycle telemetry (occupancy and latency histograms).
+    pub telemetry: bool,
 }
 
 impl JobSpec {
@@ -111,6 +113,7 @@ impl JobSpec {
             injected_bug: None,
             max_cycles: 40_000_000,
             lightsss_interval: None,
+            telemetry: false,
         }
     }
 
@@ -138,6 +141,12 @@ impl JobSpec {
         self
     }
 
+    /// Enable per-cycle telemetry (occupancy and latency histograms).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
     /// Resolve the preset slug and apply the job's overrides.
     pub fn build_config(&self) -> Option<XsConfig> {
         let mut cfg = XsConfig::preset(&self.config)?;
@@ -146,6 +155,9 @@ impl JobSpec {
         }
         if let Some(bug) = self.injected_bug {
             cfg.injected_bug = Some(bug);
+        }
+        if self.telemetry {
+            cfg = cfg.with_telemetry();
         }
         Some(cfg)
     }

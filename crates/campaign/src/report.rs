@@ -8,7 +8,7 @@
 //! [`CampaignReport::full_json`] appends the timing section under the
 //! `"timing"` key.
 
-use minjie::DiffError;
+use minjie::{DiffError, PerfSnapshot};
 use serde::{Deserialize, Serialize};
 use serde_json::{Map, Value};
 use workloads::TortureConfig;
@@ -114,6 +114,9 @@ pub struct JobRecord {
     pub replay: Option<ReplayWindow>,
     /// Minimized reproducer (diverged torture jobs only).
     pub minimized: Option<MinimizedRepro>,
+    /// Cross-layer performance snapshot (integer counters only, so the
+    /// deterministic-body property is preserved).
+    pub perf: PerfSnapshot,
 }
 
 /// Verdict tallies over a whole campaign.
@@ -217,6 +220,7 @@ mod tests {
             rule_counts: vec![("ScFailure".into(), 1)],
             replay: None,
             minimized: None,
+            perf: PerfSnapshot::default(),
         }
     }
 

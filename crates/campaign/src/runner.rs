@@ -122,6 +122,7 @@ fn execute_job(index: usize, spec: &JobSpec, minimize_failures: bool) -> JobReco
         rule_counts: Vec::new(),
         replay: None,
         minimized: None,
+        perf: minjie::PerfSnapshot::default(),
     };
     let Some(cfg) = spec.build_config() else {
         record.verdict = Verdict::Panicked {
@@ -143,6 +144,7 @@ fn execute_job(index: usize, spec: &JobSpec, minimize_failures: bool) -> JobReco
                 0.0
             };
             record.rule_counts = stats.rule_counts;
+            record.perf = stats.perf;
             record.verdict = match stats.end {
                 CoSimEnd::Halted(exit_code) => Verdict::Halted { exit_code },
                 CoSimEnd::OutOfCycles => Verdict::Timeout,
@@ -152,7 +154,7 @@ fn execute_job(index: usize, spec: &JobSpec, minimize_failures: bool) -> JobReco
                         at_cycle: bug.at_cycle,
                         cycles_replayed: r.cycles_replayed,
                         reproduced: r.reproduced,
-                        trace_records: r.trace.records,
+                        trace_records: r.trace.records_inserted(),
                     });
                     if minimize_failures {
                         record.minimized = minimize_torture_failure(spec, &bug.error);

@@ -171,10 +171,13 @@ impl CoSim {
     fn replay(&mut self, original: &DiffError) -> Option<ReplayReport> {
         let snap = self.lightsss.as_ref()?.oldest()?;
         let from_cycle = snap.at;
+        // Bounded trace: a runaway replay (large interval, slow
+        // reproduction) keeps only the newest window per table instead of
+        // growing without limit.
         let mut replayed = CoSim {
             state: snap.state.clone(),
             lightsss: None,
-            archdb: ArchDb::new(),
+            archdb: ArchDb::bounded(65_536),
             debug_mode: true,
         };
         let budget = 4 * self.lightsss.as_ref()?.interval + 10_000;
@@ -215,6 +218,8 @@ pub struct RunStats {
     pub exceptions: u64,
     /// Diff-rule applications (rule name → count), sorted by name.
     pub rule_counts: Vec<(String, u64)>,
+    /// Unified cross-layer performance snapshot at the end of the run.
+    pub perf: crate::telemetry::PerfSnapshot,
 }
 
 /// Construct and run a co-simulation inside a panic boundary.
@@ -256,6 +261,7 @@ pub fn run_isolated(
             instret: cosim.state.sys.cores.iter().map(|c| c.instret()).sum(),
             exceptions: cosim.state.sys.cores.iter().map(|c| c.perf.exceptions).sum(),
             rule_counts,
+            perf: crate::telemetry::PerfSnapshot::collect(&cosim.state.sys),
             end,
         }
     }))

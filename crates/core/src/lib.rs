@@ -42,9 +42,11 @@ pub mod cosim;
 pub mod difftest;
 pub mod lightsss;
 pub mod rules;
+pub mod telemetry;
 
 pub use archdb::ArchDb;
 pub use cosim::{run_isolated, BugReport, CoSim, CoSimEnd, CoSimState, ReplayReport, RunStats};
 pub use difftest::{DiffError, DiffTest, GlobalMemory, NemuRef, RefModel};
 pub use lightsss::{LightSss, Snapshot, Snapshotable, Sss};
 pub use rules::{compare_csrs, CsrFieldKind, CsrFieldRule, CsrRuleTable, DiffRule, RuleStats};
+pub use telemetry::{BpuStats, CacheSnap, CoreSnapshot, PerfSnapshot, TlbStats};

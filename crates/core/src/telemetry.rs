@@ -1,0 +1,374 @@
+//! Cross-layer pipeline telemetry: the unified [`PerfSnapshot`] joining
+//! the cores' top-down CPI stacks and occupancy histograms with the
+//! uncore's cache, TLB, predictor, and DRAM counters.
+//!
+//! The paper's §IV-D2 performance analysis works exactly this way: "we
+//! look into the detailed performance counters obtained from simulation"
+//! and attribute lost commit slots top-down. A snapshot is pure integer
+//! data (counters and fixed-bucket histograms), so embedding it in a
+//! campaign report keeps report bodies byte-identical across runs;
+//! derived ratios (IPC, MPKI, miss rates) are computed at render time.
+
+use serde::{Deserialize, Serialize};
+use uncore::{CacheStats, DramStats, Hist, MemLatencyHists};
+use xscore::{CpiStack, PerfCounters, XsSystem};
+
+/// Hit/miss counters of one TLB level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Translation hits.
+    pub hits: u64,
+    /// Translation misses.
+    pub misses: u64,
+}
+
+/// Branch-predictor counters surfaced from the BPU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BpuStats {
+    /// Conditional-branch predictions made.
+    pub cond_predictions: u64,
+    /// Conditional-branch mispredictions.
+    pub cond_mispredictions: u64,
+    /// Indirect-target mispredictions.
+    pub indirect_mispredictions: u64,
+}
+
+/// One core's slice of the snapshot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoreSnapshot {
+    /// The core's performance counters (CPI stack, occupancy and
+    /// latency histograms included).
+    pub perf: PerfCounters,
+    /// L1 instruction TLB.
+    pub itlb: TlbStats,
+    /// L1 data TLB.
+    pub dtlb: TlbStats,
+    /// Unified second-level TLB.
+    pub stlb: TlbStats,
+    /// Page-table walks performed.
+    pub ptw_walks: u64,
+    /// Branch-predictor counters.
+    pub bpu: BpuStats,
+}
+
+/// One cache's slice of the snapshot, keyed by the uncore's cache name
+/// (`l1i0`, `l1d0`, `l2_0`, `l3`, ...).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CacheSnap {
+    /// Cache name.
+    pub name: String,
+    /// Its counters.
+    pub stats: CacheStats,
+}
+
+/// The unified cross-layer performance snapshot of one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PerfSnapshot {
+    /// Commit width the CPI stacks were attributed against.
+    pub commit_width: u64,
+    /// Per-core counters.
+    pub cores: Vec<CoreSnapshot>,
+    /// Per-cache counters, hierarchy order.
+    pub caches: Vec<CacheSnap>,
+    /// Memory-controller counters.
+    pub dram: DramStats,
+    /// Memory round-trip latency histograms (empty unless the run had
+    /// telemetry enabled).
+    pub mem_latency: MemLatencyHists,
+}
+
+impl PerfSnapshot {
+    /// Collect a snapshot from a finished (or running) system.
+    pub fn collect(sys: &XsSystem) -> Self {
+        let cores = sys
+            .cores
+            .iter()
+            .map(|c| CoreSnapshot {
+                perf: c.perf.clone(),
+                itlb: TlbStats {
+                    hits: c.mmu.itlb.hits,
+                    misses: c.mmu.itlb.misses,
+                },
+                dtlb: TlbStats {
+                    hits: c.mmu.dtlb.hits,
+                    misses: c.mmu.dtlb.misses,
+                },
+                stlb: TlbStats {
+                    hits: c.mmu.stlb.hits,
+                    misses: c.mmu.stlb.misses,
+                },
+                ptw_walks: c.mmu.walks,
+                bpu: BpuStats {
+                    cond_predictions: c.bpu.cond_predictions,
+                    cond_mispredictions: c.bpu.cond_mispredictions,
+                    indirect_mispredictions: c.bpu.indirect_mispredictions,
+                },
+            })
+            .collect();
+        let caches = sys
+            .mem
+            .stats()
+            .into_iter()
+            .map(|(name, stats)| CacheSnap { name, stats })
+            .collect();
+        PerfSnapshot {
+            commit_width: sys
+                .cores
+                .first()
+                .map(|c| c.cfg.commit_width as u64)
+                .unwrap_or(0),
+            cores,
+            caches,
+            dram: sys.mem.dram_stats(),
+            mem_latency: sys.mem.latency_hists().clone(),
+        }
+    }
+
+    /// Instructions per cycle, summed over cores (0 when empty).
+    pub fn ipc(&self) -> f64 {
+        let cycles: u64 = self.cores.iter().map(|c| c.perf.cycles).max().unwrap_or(0);
+        let instret: u64 = self.cores.iter().map(|c| c.perf.instret).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            instret as f64 / cycles as f64
+        }
+    }
+
+    /// Branch mispredicts per kilo-instruction, over all cores.
+    pub fn mpki(&self) -> f64 {
+        let instret: u64 = self.cores.iter().map(|c| c.perf.instret).sum();
+        let misses: u64 = self.cores.iter().map(|c| c.perf.branch_mispredicts).sum();
+        if instret == 0 {
+            0.0
+        } else {
+            1000.0 * misses as f64 / instret as f64
+        }
+    }
+
+    /// Aggregate miss rate of all L1 data caches (0 when no accesses).
+    pub fn l1d_miss_rate(&self) -> f64 {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for c in self.caches.iter().filter(|c| c.name.starts_with("l1d")) {
+            hits += c.stats.hits;
+            misses += c.stats.misses;
+        }
+        if hits + misses == 0 {
+            0.0
+        } else {
+            misses as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// The CPI stack summed over cores.
+    pub fn cpi_stack(&self) -> CpiStack {
+        let mut total = CpiStack::default();
+        for c in &self.cores {
+            let s = &c.perf.cpi;
+            total.retired += s.retired;
+            total.frontend_starved += s.frontend_starved;
+            total.mispredict_recovery += s.mispredict_recovery;
+            total.memory_stall += s.memory_stall;
+            total.rob_full += s.rob_full;
+            total.iq_full += s.iq_full;
+            total.serialization += s.serialization;
+            total.other += s.other;
+        }
+        total
+    }
+
+    /// True when the top-down identity `sum(components) == cycles *
+    /// commit_width` holds on every core.
+    pub fn cpi_identity_holds(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|c| c.perf.cpi.total() == c.perf.cycles * self.commit_width)
+    }
+
+    /// Render the snapshot as an aligned ASCII report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "ipc {:.3}  mpki {:.2}  l1d-miss {:.2}%\n",
+            self.ipc(),
+            self.mpki(),
+            100.0 * self.l1d_miss_rate()
+        ));
+        s.push_str(&render_cpi_stack(&self.cpi_stack(), "cpi stack (commit slots)"));
+        for (hist, name) in self
+            .cores
+            .iter()
+            .flat_map(|c| {
+                [
+                    (&c.perf.rob_occupancy, "rob occupancy"),
+                    (&c.perf.iq_alu_occupancy, "alu-iq occupancy"),
+                    (&c.perf.iq_ls_occupancy, "ls-iq occupancy"),
+                    (&c.perf.sbuffer_occupancy, "sbuffer occupancy"),
+                    (&c.perf.l1d_mshr_occupancy, "l1d-mshr occupancy"),
+                    (&c.perf.load_to_use, "load-to-use latency"),
+                ]
+            })
+            .chain([
+                (&self.mem_latency.l1_hit, "mem rtt (l1 hit)"),
+                (&self.mem_latency.l1_miss, "mem rtt (l1 miss)"),
+                (&self.mem_latency.dram, "dram service latency"),
+            ])
+        {
+            if !hist.is_empty() {
+                s.push_str(&render_hist(hist, name));
+            }
+        }
+        let mut any_cache = false;
+        for c in &self.caches {
+            let total = c.stats.hits + c.stats.misses;
+            if total == 0 {
+                continue;
+            }
+            if !any_cache {
+                s.push_str("cache            hits      misses   miss%  mshr-stall\n");
+                any_cache = true;
+            }
+            s.push_str(&format!(
+                "  {:<12} {:>9} {:>9} {:>6.2} {:>10}\n",
+                c.name,
+                c.stats.hits,
+                c.stats.misses,
+                100.0 * c.stats.misses as f64 / total as f64,
+                c.stats.mshr_stalls,
+            ));
+        }
+        s
+    }
+}
+
+/// Render a CPI stack with per-component percentage bars.
+pub fn render_cpi_stack(stack: &CpiStack, title: &str) -> String {
+    let total = stack.total().max(1);
+    let mut s = format!("{title}\n");
+    for (name, v) in stack.components() {
+        let pct = 100.0 * v as f64 / total as f64;
+        let bar = "#".repeat((pct / 2.0).round() as usize);
+        s.push_str(&format!("  {name:<20} {v:>12} {pct:>6.2}% {bar}\n"));
+    }
+    s
+}
+
+/// Render a histogram: one row per non-empty bucket, plus moments.
+pub fn render_hist(h: &Hist, title: &str) -> String {
+    let mut s = format!(
+        "{title}: n={} mean={:.1} max={}\n",
+        h.samples,
+        h.mean(),
+        h.max
+    );
+    let peak = h.counts.iter().copied().max().unwrap_or(0).max(1);
+    for (i, &n) in h.counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let bar = "#".repeat(((40 * n) / peak).max(1) as usize);
+        s.push_str(&format!("  {:>8} {n:>10} {bar}\n", Hist::bucket_label(i)));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_with(cpi: CpiStack, cycles: u64, width: u64) -> PerfSnapshot {
+        let mut core = CoreSnapshot::default();
+        core.perf.cpi = cpi;
+        core.perf.cycles = cycles;
+        PerfSnapshot {
+            commit_width: width,
+            cores: vec![core],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn identity_check() {
+        let good = snapshot_with(
+            CpiStack {
+                retired: 300,
+                memory_stall: 200,
+                other: 100,
+                ..Default::default()
+            },
+            100,
+            6,
+        );
+        assert!(good.cpi_identity_holds());
+        let bad = snapshot_with(
+            CpiStack {
+                retired: 300,
+                ..Default::default()
+            },
+            100,
+            6,
+        );
+        assert!(!bad.cpi_identity_holds());
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let mut snap = snapshot_with(CpiStack::default(), 1000, 6);
+        snap.cores[0].perf.instret = 2500;
+        snap.cores[0].perf.branch_mispredicts = 5;
+        snap.caches.push(CacheSnap {
+            name: "l1d0".into(),
+            stats: CacheStats {
+                hits: 90,
+                misses: 10,
+                ..Default::default()
+            },
+        });
+        assert!((snap.ipc() - 2.5).abs() < 1e-12);
+        assert!((snap.mpki() - 2.0).abs() < 1e-12);
+        assert!((snap.l1d_miss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let mut snap = snapshot_with(
+            CpiStack {
+                retired: 400,
+                frontend_starved: 100,
+                memory_stall: 100,
+                ..Default::default()
+            },
+            100,
+            6,
+        );
+        snap.cores[0].perf.rob_occupancy.record(12);
+        snap.cores[0].perf.rob_occupancy.record(0);
+        let r = snap.render();
+        assert!(r.contains("retired"));
+        assert!(r.contains("frontend_starved"));
+        assert!(r.contains("rob occupancy"));
+        // Empty hists are skipped.
+        assert!(!r.contains("load-to-use"));
+    }
+
+    #[test]
+    fn serde_round_trips_snapshot() {
+        let mut snap = snapshot_with(
+            CpiStack {
+                retired: 7,
+                other: 5,
+                ..Default::default()
+            },
+            2,
+            6,
+        );
+        snap.cores[0].perf.load_to_use.record(9);
+        snap.dram.accesses = 3;
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: PerfSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cores[0].perf.cpi.retired, 7);
+        assert_eq!(back.cores[0].perf.load_to_use.samples, 1);
+        assert_eq!(back.dram.accesses, 3);
+        assert_eq!(back.commit_width, 6);
+    }
+}

@@ -14,6 +14,7 @@
 use crate::msg::{
     line_of, AccessKind, Completion, CoreReq, LineData, MsgKind, Node, Perm, LINE_SIZE,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::ops::{Index, IndexMut};
 use std::sync::Arc;
@@ -54,7 +55,7 @@ impl CacheConfig {
 }
 
 /// Aggregate statistics of one cache level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Requests satisfied locally.
     pub hits: u64,
@@ -70,6 +71,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Times the injected probe/grant race fired (fault injection only).
     pub injected_races: u64,
+    /// Core requests rejected for structural reasons (MSHRs exhausted or
+    /// the line busy under a non-covering miss).
+    pub mshr_stalls: u64,
 }
 
 /// The cache data arrays behind an `Arc`: cloning a cache (LightSSS
@@ -305,6 +309,7 @@ impl Cache {
                     }
                 }
             }
+            self.stats.mshr_stalls += 1;
             return false;
         }
         let need = perm_for(req.kind);
@@ -318,6 +323,7 @@ impl Cache {
             }
         }
         if self.txns.len() >= self.cfg.mshrs {
+            self.stats.mshr_stalls += 1;
             return false;
         }
         self.stats.misses += 1;

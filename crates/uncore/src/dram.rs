@@ -45,6 +45,17 @@ impl DdrConfig {
     }
 }
 
+/// Aggregate memory-controller statistics (telemetry export).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Line accesses serviced.
+    pub accesses: u64,
+    /// Row-buffer hits (DDR model only).
+    pub row_hits: u64,
+    /// Row-buffer misses (DDR model only).
+    pub row_misses: u64,
+}
+
 /// The memory-controller timing model.
 #[derive(Debug, Clone)]
 pub enum DramModel {
@@ -52,6 +63,8 @@ pub enum DramModel {
     FixedAmat {
         /// Cycles per access.
         latency: u64,
+        /// Accesses serviced.
+        accesses: u64,
     },
     /// Banked row-buffer model with a shared data bus.
     Ddr {
@@ -67,13 +80,18 @@ pub enum DramModel {
         row_hits: u64,
         /// Row-buffer miss count.
         row_misses: u64,
+        /// Accesses serviced.
+        accesses: u64,
     },
 }
 
 impl DramModel {
     /// Create the fixed-AMAT model.
     pub fn fixed(latency: u64) -> Self {
-        DramModel::FixedAmat { latency }
+        DramModel::FixedAmat {
+            latency,
+            accesses: 0,
+        }
     }
 
     /// Create the DDR model.
@@ -84,14 +102,38 @@ impl DramModel {
             bus_busy: 0,
             row_hits: 0,
             row_misses: 0,
+            accesses: 0,
             cfg,
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> DramStats {
+        match self {
+            DramModel::FixedAmat { accesses, .. } => DramStats {
+                accesses: *accesses,
+                ..Default::default()
+            },
+            DramModel::Ddr {
+                row_hits,
+                row_misses,
+                accesses,
+                ..
+            } => DramStats {
+                accesses: *accesses,
+                row_hits: *row_hits,
+                row_misses: *row_misses,
+            },
         }
     }
 
     /// Latency (from `now`) of an access to line address `line`.
     pub fn access(&mut self, line: u64, now: u64) -> u64 {
         match self {
-            DramModel::FixedAmat { latency } => *latency,
+            DramModel::FixedAmat { latency, accesses } => {
+                *accesses += 1;
+                *latency
+            }
             DramModel::Ddr {
                 cfg,
                 open_rows,
@@ -99,7 +141,9 @@ impl DramModel {
                 bus_busy,
                 row_hits,
                 row_misses,
+                accesses,
             } => {
+                *accesses += 1;
                 let bank = ((line >> 6) as usize) % cfg.banks;
                 let row = line >> 13;
                 let start = now.max(bank_busy[bank]).max(*bus_busy);

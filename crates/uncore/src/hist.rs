@@ -1,0 +1,162 @@
+//! A shared fixed-bucket histogram for occupancy and latency telemetry.
+//!
+//! Every histogram in the telemetry layer (ROB/IQ/store-buffer occupancy,
+//! MSHR occupancy, memory latencies) uses the same power-of-two bucket
+//! scheme so renderers and aggregators need exactly one code path:
+//! bucket 0 holds the value 0, bucket `i` (for `i >= 1`) holds values in
+//! `[2^(i-1), 2^i)`, and the last bucket absorbs everything above.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: 0, 1, 2..3, 4..7, ..., >= 2^14.
+pub const HIST_BUCKETS: usize = 16;
+
+/// A fixed-bucket (power-of-two) histogram of `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hist {
+    /// Per-bucket sample counts (see module docs for the bucket scheme).
+    pub counts: [u64; HIST_BUCKETS],
+    /// Total samples recorded.
+    pub samples: u64,
+    /// Sum of all samples (for the mean).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of bucket `i` (the last
+    /// bucket's `hi` is `u64::MAX`).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            _ if i == HIST_BUCKETS - 1 => (1 << (i - 1), u64::MAX),
+            _ => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Human-readable label of bucket `i` (e.g. `"4-7"`).
+    pub fn bucket_label(i: usize) -> String {
+        let (lo, hi) = Self::bucket_range(i);
+        if hi == lo + 1 {
+            format!("{lo}")
+        } else if hi == u64::MAX {
+            format!(">={lo}")
+        } else {
+            format!("{lo}-{}", hi - 1)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.samples += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.samples += other.samples;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_power_of_two() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(7), 3);
+        assert_eq!(Hist::bucket_of(8), 4);
+        assert_eq!(Hist::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        // Every value lands in the bucket whose range contains it.
+        for v in [0u64, 1, 5, 100, 4096, 1 << 20] {
+            let (lo, hi) = Hist::bucket_range(Hist::bucket_of(v));
+            assert!(v >= lo && (v < hi || hi == u64::MAX), "{v}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_moments() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 1, 6, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.samples, 5);
+        assert_eq!(h.sum, 48);
+        assert_eq!(h.max, 40);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[3], 1); // 6 in 4..7
+        assert!((h.mean() - 9.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Hist::new();
+        a.record(3);
+        let mut b = Hist::new();
+        b.record(100);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.samples, 3);
+        assert_eq!(a.max, 100);
+        assert_eq!(a.sum, 103);
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(Hist::bucket_label(0), "0");
+        assert_eq!(Hist::bucket_label(1), "1");
+        assert_eq!(Hist::bucket_label(3), "4-7");
+        assert_eq!(Hist::bucket_label(HIST_BUCKETS - 1), ">=16384");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Hist::new();
+        h.record(9);
+        let v = serde_json::to_string(&h).unwrap();
+        let back: Hist = serde_json::from_str(&v).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -24,12 +24,14 @@
 
 pub mod cache;
 pub mod dram;
+pub mod hist;
 pub mod msg;
 pub mod scoreboard;
 pub mod system;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use dram::{DdrConfig, DramModel};
+pub use dram::{DdrConfig, DramModel, DramStats};
+pub use hist::{Hist, HIST_BUCKETS};
 pub use msg::{line_of, AccessKind, Completion, CoreReq, Msg, MsgKind, Node, Perm, LINE_SIZE};
 pub use scoreboard::{CoherenceScoreboard, Violation};
-pub use system::{run_until_complete, LinkLatencies, MemSystem, MemSystemConfig};
+pub use system::{run_until_complete, LinkLatencies, MemLatencyHists, MemSystem, MemSystemConfig};

@@ -6,7 +6,8 @@
 //! its (single) L2 directly to DRAM.
 
 use crate::cache::{Cache, CacheConfig, CacheStats, Outbox};
-use crate::dram::DramModel;
+use crate::dram::{DramModel, DramStats};
+use crate::hist::Hist;
 use crate::msg::{
     line_of, AccessKind, Completion, CoreReq, Msg, MsgKind, Node, Perm, LINE_SIZE,
 };
@@ -52,6 +53,9 @@ pub struct MemSystemConfig {
     pub links: LinkLatencies,
     /// Enable the coherence scoreboard checker.
     pub scoreboard: bool,
+    /// Record per-request latency histograms (telemetry; small per-access
+    /// bookkeeping cost, so off by default).
+    pub telemetry: bool,
 }
 
 impl MemSystemConfig {
@@ -69,8 +73,23 @@ impl MemSystemConfig {
                 llc_dram: 3,
             },
             scoreboard: true,
+            telemetry: false,
         }
     }
+}
+
+/// Round-trip latency histograms for the memory hierarchy, as seen from
+/// the request side (submit-to-completion), plus the controller's own
+/// service latency. Populated only when [`MemSystemConfig::telemetry`]
+/// is set.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemLatencyHists {
+    /// Data/fetch requests that hit in the L1.
+    pub l1_hit: Hist,
+    /// Data/fetch requests that missed the L1 (any deeper level served).
+    pub l1_miss: Hist,
+    /// Memory-controller service latency per line access.
+    pub dram: Hist,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +121,10 @@ pub struct MemSystem {
     backing: SparseMemory,
     /// Coherence scoreboard (present when enabled in the config).
     pub scoreboard: Option<CoherenceScoreboard>,
+    /// Submit cycle of in-flight requests, keyed by (is_fetch, core, id).
+    /// Only populated when telemetry is enabled.
+    inflight_since: HashMap<(bool, usize, u64), u64>,
+    lat: MemLatencyHists,
 }
 
 impl MemSystem {
@@ -161,6 +184,8 @@ impl MemSystem {
             dram,
             backing,
             scoreboard,
+            inflight_since: HashMap::new(),
+            lat: MemLatencyHists::default(),
         }
     }
 
@@ -176,9 +201,13 @@ impl MemSystem {
     ///
     /// Panics if the access crosses a cache line.
     pub fn submit_data(&mut self, req: CoreReq) -> bool {
+        let key = (false, req.core, req.id);
         let mut out = Outbox::default();
         let ok = self.l1d[req.core].submit_core(req, self.cycle, &mut out);
         self.route_outbox(Node::L1d(req.core), out);
+        if ok && self.cfg.telemetry {
+            self.inflight_since.insert(key, self.cycle);
+        }
         ok
     }
 
@@ -195,6 +224,9 @@ impl MemSystem {
         let mut out = Outbox::default();
         let ok = self.l1i[core].submit_core(req, self.cycle, &mut out);
         self.route_outbox(Node::L1i(core), out);
+        if ok && self.cfg.telemetry {
+            self.inflight_since.insert((true, core, id), self.cycle);
+        }
         ok
     }
 
@@ -218,7 +250,19 @@ impl MemSystem {
             if top.0.at > self.cycle {
                 break;
             }
-            out.push(self.done.pop().expect("peeked").0);
+            let c = self.done.pop().expect("peeked").0;
+            if self.cfg.telemetry {
+                let key = (c.req.kind == AccessKind::Fetch, c.req.core, c.req.id);
+                if let Some(since) = self.inflight_since.remove(&key) {
+                    let rtt = c.at.saturating_sub(since);
+                    if c.l1_hit {
+                        self.lat.l1_hit.record(rtt);
+                    } else {
+                        self.lat.l1_miss.record(rtt);
+                    }
+                }
+            }
+            out.push(c);
         }
         out
     }
@@ -240,6 +284,9 @@ impl MemSystem {
         match msg.kind {
             MsgKind::Acquire { line, need: _ } => {
                 let latency = self.dram.access(line, self.cycle);
+                if self.cfg.telemetry {
+                    self.lat.dram.record(latency);
+                }
                 let mut data = Box::new([0u8; LINE_SIZE as usize]);
                 self.backing.read(line, &mut data[..]);
                 self.schedule(
@@ -390,6 +437,23 @@ impl MemSystem {
             v.push((c.cfg.name.clone(), c.stats));
         }
         v
+    }
+
+    /// Memory-controller statistics.
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram.stats()
+    }
+
+    /// Round-trip / service latency histograms (empty unless the config
+    /// enables telemetry).
+    pub fn latency_hists(&self) -> &MemLatencyHists {
+        &self.lat
+    }
+
+    /// In-flight transaction count of core `core`'s L1D (MSHR occupancy
+    /// proxy, sampled per cycle by the core's telemetry).
+    pub fn l1d_active_txns(&self, core: usize) -> usize {
+        self.l1d[core].active_txns()
     }
 
     /// Enable the §IV-C probe/grant race fault in core `core`'s L2.
@@ -635,6 +699,48 @@ mod tests {
             wrong_data,
             "the injected race must produce observable wrong data"
         );
+    }
+
+    #[test]
+    fn telemetry_latency_hists_populate() {
+        let mut backing = SparseMemory::new();
+        backing.write_uint(0x1000, 8, 7);
+        let mut cfg = MemSystemConfig::tiny(1);
+        cfg.telemetry = true;
+        let mut sys = MemSystem::new(cfg, DramModel::fixed(20), backing);
+        sys.submit_data(load_req(0, 0x1000, 1));
+        run_until_complete(&mut sys, 1, 1000).expect("miss completes");
+        sys.submit_data(load_req(0, 0x1008, 2));
+        run_until_complete(&mut sys, 2, 1000).expect("hit completes");
+        let lat = sys.latency_hists();
+        assert_eq!(lat.l1_miss.samples, 1);
+        assert_eq!(lat.l1_hit.samples, 1);
+        assert!(lat.l1_miss.max > lat.l1_hit.max, "miss slower than hit");
+        assert_eq!(lat.dram.samples, 1);
+        assert_eq!(sys.dram_stats().accesses, 1);
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let mut sys = new_sys(1);
+        sys.submit_data(load_req(0, 0x1000, 1));
+        run_until_complete(&mut sys, 1, 1000).expect("completes");
+        assert!(sys.latency_hists().l1_hit.is_empty());
+        assert!(sys.latency_hists().l1_miss.is_empty());
+        assert!(sys.latency_hists().dram.is_empty());
+        // DRAM access counting is always on (cheap, needed by RunStats).
+        assert_eq!(sys.dram_stats().accesses, 1);
+    }
+
+    #[test]
+    fn mshr_stalls_count_rejections() {
+        let mut sys = new_sys(1);
+        for i in 0..6u64 {
+            sys.submit_data(load_req(0, 0xa000 + i * 64, 300 + i));
+        }
+        let stats = sys.stats();
+        let l1d = &stats.iter().find(|(n, _)| n == "l1d0").unwrap().1;
+        assert_eq!(l1d.mshr_stalls, 2, "2 of 6 distinct-line misses rejected");
     }
 
     #[test]

@@ -134,6 +134,10 @@ pub struct XsConfig {
     /// Deliberate DUT corruption for verification-flow tests (never set
     /// by any preset).
     pub injected_bug: Option<InjectedBug>,
+    /// Enable per-cycle occupancy/latency histograms. The CPI stack is
+    /// always on; this gates the heavier sampling so default runs keep
+    /// their wall-clock.
+    pub telemetry: bool,
 }
 
 impl XsConfig {
@@ -179,6 +183,7 @@ impl XsConfig {
             sc_timeout_cycles: u64::MAX,
             sbuffer_drain_delay: 20,
             injected_bug: None,
+            telemetry: false,
         }
     }
 
@@ -222,6 +227,7 @@ impl XsConfig {
             sc_timeout_cycles: u64::MAX,
             sbuffer_drain_delay: 20,
             injected_bug: None,
+            telemetry: false,
         }
     }
 
@@ -300,6 +306,12 @@ impl XsConfig {
         self
     }
 
+    /// Enable the per-cycle occupancy/latency telemetry histograms.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
     /// Derive the uncore configuration.
     pub fn mem_system_config(&self) -> MemSystemConfig {
         MemSystemConfig {
@@ -310,6 +322,7 @@ impl XsConfig {
             l3: self.l3.clone(),
             links: LinkLatencies::default(),
             scoreboard: false,
+            telemetry: self.telemetry,
         }
     }
 

@@ -80,6 +80,19 @@ enum MemReqKind {
     AtomicStore,
 }
 
+/// Why the pipeline is inside a flush-recovery window (set at the flush,
+/// cleared at the first subsequent commit). Drives CPI-stack attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecoveryKind {
+    None,
+    /// Branch-mispredict redirect.
+    Mispredict,
+    /// Serializing flush (system ops, exceptions, atomics).
+    Serialize,
+    /// Memory-order-violation replay.
+    MemViolation,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CommitStall {
     None,
@@ -158,6 +171,13 @@ pub struct Core {
     deferred_loads: Vec<(u64, u64, u64)>, // (deliver_at, seq, value)
     deferred_commits: Vec<CommitEvent>,
     deferred_drains: Vec<SbufferDrainEvent>,
+    // CPI-stack attribution state. The recovery window opens at a flush
+    // and closes when the first post-flush instruction (seq beyond
+    // `recovery_seq`) commits.
+    recovery: RecoveryKind,
+    recovery_seq: u64,
+    rename_blocked_rob: bool,
+    rename_blocked_iq: bool,
 }
 
 impl Core {
@@ -230,6 +250,10 @@ impl Core {
             deferred_loads: Vec::new(),
             deferred_commits: Vec::new(),
             deferred_drains: Vec::new(),
+            recovery: RecoveryKind::None,
+            recovery_seq: 0,
+            rename_blocked_rob: false,
+            rename_blocked_iq: false,
             cfg,
         }
     }
@@ -322,8 +346,13 @@ impl Core {
         self.perf.cycles += 1;
         let mut out = CycleOutput::default();
         if self.is_halted() {
+            // Keep the CPI identity over the whole run: a halted core's
+            // commit slots all idle.
+            self.perf.cpi.other += self.cfg.commit_width as u64;
             return out;
         }
+        self.rename_blocked_rob = false;
+        self.rename_blocked_iq = false;
         self.handle_mem_completions(mem, completions, &mut out);
         self.writeback();
         self.commit(mem, &mut out);
@@ -336,7 +365,80 @@ impl Core {
         self.csr.time = self.cycle;
         out.commits.append(&mut self.deferred_commits);
         out.drains.append(&mut self.deferred_drains);
+        self.attribute_cycle(mem, out.commits.len() as u64);
         out
+    }
+
+    /// Top-down CPI attribution: charge exactly `commit_width` slots this
+    /// cycle — one per retired event, the rest to the single dominant
+    /// reason the commit stage idled — so
+    /// `cpi.total() == cycles * commit_width` holds by construction.
+    fn attribute_cycle(&mut self, mem: &MemSystem, committed: u64) {
+        let width = self.cfg.commit_width as u64;
+        if self.cfg.telemetry {
+            self.perf.rob_occupancy.record(self.rob.len() as u64);
+            self.perf
+                .iq_alu_occupancy
+                .record((self.iqs[0].len() + self.iqs[1].len()) as u64);
+            self.perf
+                .iq_ls_occupancy
+                .record((self.iqs[3].len() + self.iqs[4].len()) as u64);
+            self.perf
+                .sbuffer_occupancy
+                .record(self.lsu.sbuffer.len() as u64);
+            self.perf
+                .l1d_mshr_occupancy
+                .record(mem.l1d_active_txns(self.hart) as u64);
+        }
+        let retired = committed.min(width);
+        self.perf.cpi.retired += retired;
+        let empty = width - retired;
+        if empty == 0 {
+            return;
+        }
+        // One dominant cause per cycle, most specific first.
+        let slot = if self.is_halted() {
+            &mut self.perf.cpi.other
+        } else if self.commit_stall != CommitStall::None {
+            // Atomic executing at the commit point.
+            &mut self.perf.cpi.serialization
+        } else if self.recovery != RecoveryKind::None {
+            match self.recovery {
+                RecoveryKind::Mispredict => &mut self.perf.cpi.mispredict_recovery,
+                RecoveryKind::MemViolation => &mut self.perf.cpi.memory_stall,
+                _ => &mut self.perf.cpi.serialization,
+            }
+        } else if let Some(head) = self.rob.head() {
+            if head.exception.is_some() || head.commit_exec {
+                &mut self.perf.cpi.serialization
+            } else if head.state != RobState::Done && head.lq_idx.is_some() {
+                // Load at the head still in flight.
+                &mut self.perf.cpi.memory_stall
+            } else if head.state == RobState::Done
+                && head.sq_idx.is_some()
+                && self.lsu.sbuffer_full()
+            {
+                // Store ready but the store buffer is full.
+                &mut self.perf.cpi.memory_stall
+            } else if head.state != RobState::Done {
+                // Executing (ALU/FPU latency, issue wait).
+                &mut self.perf.cpi.other
+            } else if self.rename_blocked_rob {
+                &mut self.perf.cpi.rob_full
+            } else if self.rename_blocked_iq {
+                &mut self.perf.cpi.iq_full
+            } else {
+                &mut self.perf.cpi.other
+            }
+        } else if self.rename_blocked_rob {
+            &mut self.perf.cpi.rob_full
+        } else if self.rename_blocked_iq {
+            &mut self.perf.cpi.iq_full
+        } else {
+            // Empty ROB and rename had nothing: the frontend starved us.
+            &mut self.perf.cpi.frontend_starved
+        };
+        *slot += empty;
     }
 
     // ------------------------------------------------------------------
@@ -412,6 +514,7 @@ impl Core {
         e.state = RobState::Done;
         let (fp, p) = (e.dest_fp, e.phys_rd);
         let has_dest = e.has_dest;
+        let issued_at = e.issued_at;
         if let Some(li) = e.lq_idx {
             // li indexes by allocation order, but flushes shuffle the LQ;
             // find by seq instead.
@@ -426,6 +529,11 @@ impl Core {
             } else {
                 self.prf_int.write(p, value);
             }
+        }
+        if self.cfg.telemetry && issued_at > 0 {
+            self.perf
+                .load_to_use
+                .record(self.cycle.saturating_sub(issued_at));
         }
     }
 
@@ -549,7 +657,15 @@ impl Core {
                 .resolve(uop.pc, &uop.inst, pred, taken, target, true);
         }
         self.perf.flushes_mispredict += 1;
+        self.open_recovery(RecoveryKind::Mispredict, seq);
         self.flush_after(seq, actual_npc, &snapshot);
+    }
+
+    /// Open a CPI-attribution recovery window at a flush whose boundary
+    /// (oldest surviving instruction) is `seq`.
+    fn open_recovery(&mut self, kind: RecoveryKind, seq: u64) {
+        self.recovery = kind;
+        self.recovery_seq = seq;
     }
 
     /// Flush everything younger than `seq` and restart fetch at `new_pc`.
@@ -629,7 +745,9 @@ impl Core {
                 // Memory-order violation: squash and re-execute from the
                 // load itself.
                 let pc = head.uop.pc;
+                let seq = head.seq;
                 self.perf.flushes_violation += 1;
+                self.open_recovery(RecoveryKind::MemViolation, seq);
                 self.flush_all(pc);
                 break;
             }
@@ -663,6 +781,9 @@ impl Core {
 
     fn retire(&mut self, mut e: crate::rob::RobEntry, out: &mut CycleOutput) {
         let seq = e.seq;
+        if self.recovery != RecoveryKind::None && seq > self.recovery_seq {
+            self.recovery = RecoveryKind::None;
+        }
         // Eliminated moves read their (shared) register at commit.
         if e.eliminated {
             e.wb_value = self.prf_int.read(e.phys_rd);
@@ -750,6 +871,8 @@ impl Core {
         let head = self.rob.head().expect("exception at head");
         let pc = head.uop.pc;
         let inst = head.uop.inst;
+        let seq = head.seq;
+        self.open_recovery(RecoveryKind::Serialize, seq);
         self.perf.exceptions += 1;
         let trap = Trap::Exception(cause, tval);
         let handler = self.csr.take_trap(trap, pc);
@@ -935,6 +1058,7 @@ impl Core {
             cycle: self.cycle,
         });
         self.perf.flushes_system += 1;
+        self.open_recovery(RecoveryKind::Serialize, seq);
         self.flush_all(redirect);
     }
 
@@ -1198,6 +1322,7 @@ impl Core {
         });
         // Serialize after atomics.
         self.perf.flushes_system += 1;
+        self.open_recovery(RecoveryKind::Serialize, e.seq);
         self.flush_all(e.uop.fallthrough());
     }
 
@@ -1258,6 +1383,12 @@ impl Core {
     }
 
     fn issue_load(&mut self, mem: &mut MemSystem, seq: u64) {
+        if self.cfg.telemetry {
+            let e = self.rob.get_mut(seq).expect("load entry");
+            if e.issued_at == 0 {
+                e.issued_at = self.cycle;
+            }
+        }
         let e = self.rob.get(seq).expect("load entry");
         let d = e.uop.inst;
         let va = e
@@ -1452,6 +1583,7 @@ impl Core {
             let Some(front) = self.ibuf.front() else { break };
             if self.rob.is_full() {
                 self.perf.rob_full_cycles += 1;
+                self.rename_blocked_rob = true;
                 break;
             }
             // Fetch fault pseudo-op: becomes an exception-carrying entry.
@@ -1511,6 +1643,7 @@ impl Core {
         let class = d.fu_class();
         let qi = self.queue_for(class, &uop);
         if !commit_exec && self.iqs[qi].is_full() {
+            self.rename_blocked_iq = true;
             self.push_back(uop);
             return false;
         }

@@ -42,6 +42,6 @@ pub mod uop;
 
 pub use config::{InjectedBug, IssuePolicy, MemoryModel, XsConfig};
 pub use core::{Core, CycleOutput};
-pub use perf::PerfCounters;
+pub use perf::{CpiStack, PerfCounters};
 pub use system::XsSystem;
 pub use uop::{CommitEvent, CommitMem, SbufferDrainEvent};

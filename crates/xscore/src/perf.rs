@@ -3,6 +3,68 @@
 //! counters obtained from simulation").
 
 use serde::{Deserialize, Serialize};
+use uncore::Hist;
+
+/// Top-down CPI stack: every commit-slot cycle charged to exactly one
+/// component, so `sum(components) == cycles * commit_width` holds by
+/// construction (enforced per tick by the attributor in `core.rs`).
+///
+/// The taxonomy follows the top-down methodology the paper's §IV-D2
+/// analysis applies informally: retired work first, then the dominant
+/// reason each empty slot could not retire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpiStack {
+    /// Slots that retired a micro-op.
+    pub retired: u64,
+    /// Empty slots with an empty ROB: the frontend supplied nothing.
+    pub frontend_starved: u64,
+    /// Empty slots inside a mispredict-recovery window (flush until the
+    /// first post-recovery commit).
+    pub mispredict_recovery: u64,
+    /// Empty slots waiting on a memory access at the ROB head (load/store
+    /// in flight, or a store blocked on a full store buffer).
+    pub memory_stall: u64,
+    /// Rename blocked this cycle because the ROB was full.
+    pub rob_full: u64,
+    /// Rename blocked this cycle because an issue queue was full.
+    pub iq_full: u64,
+    /// Serializing work at the head: commit-time execution (CSR, system,
+    /// atomics), exceptions, or a serializing-flush recovery window.
+    pub serialization: u64,
+    /// Anything else (execution latency, writeback contention, halt).
+    pub other: u64,
+}
+
+impl CpiStack {
+    /// Total attributed slots (`cycles * commit_width` when the identity
+    /// holds).
+    pub fn total(&self) -> u64 {
+        self.components().iter().map(|(_, v)| v).sum()
+    }
+
+    /// All components with stable display names, stack order.
+    pub fn components(&self) -> [(&'static str, u64); 8] {
+        [
+            ("retired", self.retired),
+            ("frontend_starved", self.frontend_starved),
+            ("mispredict_recovery", self.mispredict_recovery),
+            ("memory_stall", self.memory_stall),
+            ("rob_full", self.rob_full),
+            ("iq_full", self.iq_full),
+            ("serialization", self.serialization),
+            ("other", self.other),
+        ]
+    }
+
+    /// The largest non-retired component (name, slots).
+    pub fn top_stall(&self) -> (&'static str, u64) {
+        self.components()[1..]
+            .iter()
+            .max_by_key(|(_, v)| *v)
+            .copied()
+            .unwrap_or(("other", 0))
+    }
+}
 
 /// Aggregated per-core performance counters.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -47,6 +109,20 @@ pub struct PerfCounters {
     pub high_priority_dispatched: u64,
     /// Total dispatched instructions.
     pub dispatched: u64,
+    /// Top-down CPI stack (always on; a few adds per cycle).
+    pub cpi: CpiStack,
+    /// Per-cycle ROB occupancy (telemetry-gated, like all Hists below).
+    pub rob_occupancy: Hist,
+    /// Per-cycle ALU issue-queue occupancy (both ALU queues summed).
+    pub iq_alu_occupancy: Hist,
+    /// Per-cycle load/store issue-queue occupancy.
+    pub iq_ls_occupancy: Hist,
+    /// Per-cycle committed-store-buffer occupancy.
+    pub sbuffer_occupancy: Hist,
+    /// Per-cycle L1D in-flight transaction (MSHR) occupancy.
+    pub l1d_mshr_occupancy: Hist,
+    /// Load-to-use latency: cycles from load issue to writeback.
+    pub load_to_use: Hist,
 }
 
 impl PerfCounters {
@@ -99,6 +175,21 @@ mod tests {
         assert!((p.ipc() - 2.5).abs() < 1e-12);
         p.branch_mispredicts = 5;
         assert!((p.mpki() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpi_stack_totals_and_top_stall() {
+        let s = CpiStack {
+            retired: 50,
+            frontend_starved: 10,
+            memory_stall: 30,
+            iq_full: 5,
+            other: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.top_stall(), ("memory_stall", 30));
+        assert_eq!(s.components()[0], ("retired", 50));
     }
 
     #[test]

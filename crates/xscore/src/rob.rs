@@ -70,6 +70,8 @@ pub struct RobEntry {
     pub replay_at_commit: bool,
     /// Floating-point flags accumulated by this instruction.
     pub fflags: u64,
+    /// Cycle the uop issued (0 until issued; load-to-use telemetry).
+    pub issued_at: u64,
 }
 
 impl RobEntry {
@@ -100,6 +102,7 @@ impl RobEntry {
             phys_srcs: [None; 3],
             replay_at_commit: false,
             fflags: 0,
+            issued_at: 0,
         }
     }
 }

@@ -5,7 +5,10 @@
 #   2. the full test suite (unit + integration + property + doc tests),
 #   3. a smoke verification campaign — 2 workloads x 2 configs x 4
 #      torture seeds (12 jobs) sharded over 4 workers, with a hard
-#      wall-clock timeout and a JSON-validity check on the report.
+#      wall-clock timeout and a JSON-validity check on the report,
+#   4. a perf smoke — one kernel under full telemetry; the PerfSnapshot
+#      artifact must have a live CPI stack and nonzero cache/DRAM
+#      counters, and perf_report must render it cleanly.
 #
 # The campaign step is what the paper calls the verification flow: any
 # DUT regression that makes a workload diverge, hang, or panic fails
@@ -24,7 +27,9 @@ cargo test -q --workspace
 
 echo "== tier-1: smoke campaign (2 workloads x 2 configs x 4 seeds) =="
 report="$(mktemp /tmp/campaign-smoke.XXXXXX.json)"
-trap 'rm -f "$report"' EXIT
+perf_report_json="$(mktemp /tmp/perf-smoke.XXXXXX.json)"
+perf_snapshot="$(mktemp /tmp/perf-snapshot.XXXXXX.json)"
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot"' EXIT
 timeout 600 target/release/campaign \
     --workloads mcf,libquantum \
     --configs small-nh,small-yqh \
@@ -43,5 +48,41 @@ assert all(j["cycles"] > 0 and j["commits_checked"] > 0 for j in r["jobs"])
 assert "timing" in r
 print("smoke campaign report OK:", s)
 EOF
+
+echo "== tier-1: perf smoke (mcf under telemetry) =="
+timeout 300 target/release/campaign \
+    --workloads mcf \
+    --configs small-nh \
+    --telemetry \
+    --workers 1 \
+    --out "$perf_report_json"
+
+python3 - "$perf_report_json" "$perf_snapshot" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+perf = r["jobs"][0]["perf"]
+cpi = {}
+for core in perf["cores"]:
+    for k, v in core["perf"]["cpi"].items():
+        cpi[k] = cpi.get(k, 0) + v
+cycles = max(c["perf"]["cycles"] for c in perf["cores"])
+assert sum(cpi.values()) == cycles * perf["commit_width"], cpi
+# The CPI components a real kernel run must exercise (rob_full/iq_full
+# can legitimately stay zero on a short run).
+for key in ("retired", "frontend_starved", "mispredict_recovery", "memory_stall"):
+    assert cpi[key] > 0, f"CPI component {key} is zero: {cpi}"
+caches = {c["name"]: c["stats"] for c in perf["caches"]}
+l1d = [s for n, s in caches.items() if n.startswith("l1d")]
+assert l1d and all(s["hits"] > 0 and s["misses"] > 0 for s in l1d), caches
+assert perf["dram"]["accesses"] > 0, perf["dram"]
+assert all(c["perf"]["rob_occupancy"]["samples"] > 0 for c in perf["cores"])
+assert perf["mem_latency"]["l1_hit"]["samples"] > 0, perf["mem_latency"]
+# Extract the bare snapshot artifact for the perf_report CLI smoke.
+json.dump(perf, open(sys.argv[2], "w"))
+print("perf smoke OK: CPI identity holds, all probe families live")
+EOF
+
+target/release/perf_report "$perf_report_json" > /dev/null
+target/release/perf_report "$perf_snapshot" | head -12
 
 echo "== tier-1 gate passed =="

@@ -5,7 +5,7 @@
 //! campaign [--workloads mcf,lbm] [--configs small-nh,small-yqh]
 //!          [--torture-seeds 0..8] [--workers 4] [--max-cycles 40000000]
 //!          [--lightsss N] [--inject-bug mul-low-bit|addw-no-sext]
-//!          [--no-minimize] [--out report.json]
+//!          [--telemetry] [--no-minimize] [--out report.json]
 //! ```
 //!
 //! The job list is the cross product of every named workload and every
@@ -22,7 +22,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: campaign [--workloads k1,k2] [--configs c1,c2] [--torture-seeds A..B|s1,s2]\n\
          \x20               [--workers N] [--max-cycles N] [--lightsss N]\n\
-         \x20               [--inject-bug mul-low-bit|addw-no-sext] [--no-minimize] [--out FILE]\n\
+         \x20               [--inject-bug mul-low-bit|addw-no-sext] [--telemetry]\n\
+         \x20               [--no-minimize] [--out FILE]\n\
          kernels: {}\n\
          configs: {}",
         workloads::NAMES.join(", "),
@@ -53,6 +54,7 @@ fn main() {
     let mut lightsss: Option<u64> = None;
     let mut inject: Option<InjectedBug> = None;
     let mut minimize = true;
+    let mut telemetry = false;
     let mut out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -85,6 +87,7 @@ fn main() {
                     _ => usage("unknown --inject-bug"),
                 });
             }
+            "--telemetry" => telemetry = true,
             "--no-minimize" => minimize = false,
             "--out" => out = Some(value()),
             "--help" | "-h" => usage("help requested"),
@@ -124,6 +127,9 @@ fn main() {
             }
             if let Some(bug) = inject {
                 spec = spec.with_injected_bug(bug);
+            }
+            if telemetry {
+                spec = spec.with_telemetry();
             }
             spec
         })

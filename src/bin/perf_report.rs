@@ -1,0 +1,95 @@
+//! Render campaign telemetry as aligned ASCII: top-down CPI stacks,
+//! occupancy/latency histograms, and cache hit/miss tables.
+//!
+//! ```text
+//! perf_report REPORT.json [--job N]
+//! ```
+//!
+//! `REPORT.json` is either a campaign report (`campaign --out`), in
+//! which case every job's embedded [`PerfSnapshot`] is rendered (or just
+//! job `N` with `--job`), or a bare `PerfSnapshot` JSON artifact (as
+//! written by the CI perf-smoke step). Exit status: 0 on success, 1 if
+//! any rendered snapshot violates the top-down CPI identity, 2 on usage
+//! or parse errors.
+//!
+//! [`PerfSnapshot`]: minjie::PerfSnapshot
+
+use campaign::JobRecord;
+use minjie::PerfSnapshot;
+use serde::Deserialize;
+use serde_json::Value;
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: perf_report REPORT.json [--job N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut only_job: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--job" => {
+                let v = args.next().unwrap_or_else(|| usage("missing value for --job"));
+                only_job = Some(v.parse().unwrap_or_else(|_| usage("bad --job")));
+            }
+            "--help" | "-h" => usage("help requested"),
+            other if other.starts_with("--") => usage(&format!("unknown flag `{other}`")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    usage("more than one report path");
+                }
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| usage("missing report path"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| usage(&format!("read {path}: {e}")));
+    let value: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| usage(&format!("parse {path}: {e:?}")));
+
+    let mut identity_ok = true;
+    if value.get("jobs").is_some() {
+        // A campaign report: render each job's embedded snapshot.
+        let jobs: Vec<JobRecord> = Deserialize::deserialize(&value["jobs"])
+            .unwrap_or_else(|e| usage(&format!("parse jobs in {path}: {e:?}")));
+        let mut rendered = 0u64;
+        for j in &jobs {
+            if only_job.is_some_and(|n| n != j.index) {
+                continue;
+            }
+            rendered += 1;
+            println!(
+                "=== job {} {} {} [{}] cycles={} ===",
+                j.index,
+                j.workload,
+                j.config,
+                j.verdict.label(),
+                j.cycles
+            );
+            print!("{}", j.perf.render());
+            if !j.perf.cpi_identity_holds() {
+                identity_ok = false;
+                println!("!! top-down CPI identity VIOLATED for job {}", j.index);
+            }
+            println!();
+        }
+        if rendered == 0 {
+            usage(&format!("no matching job in {path}"));
+        }
+    } else {
+        // A bare PerfSnapshot artifact (CI perf-smoke output).
+        let snap: PerfSnapshot = Deserialize::deserialize(&value)
+            .unwrap_or_else(|e| usage(&format!("parse snapshot in {path}: {e:?}")));
+        print!("{}", snap.render());
+        if !snap.cpi_identity_holds() {
+            identity_ok = false;
+            println!("!! top-down CPI identity VIOLATED");
+        }
+    }
+    if !identity_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Golden performance regressions over the telemetry subsystem.
+//!
+//! Two layers of protection:
+//!
+//! - the top-down CPI identity (`sum(components) == cycles *
+//!   commit_width`) must hold *exactly* on every tier-1 workload — it is
+//!   an invariant of the attributor, not a tuning target;
+//! - headline metrics (IPC, branch MPKI, L1D miss rate, dominant stall
+//!   component) are pinned for two kernels on both cache hierarchies.
+//!   These change only when the microarchitectural model changes; a
+//!   failing pin is a request to justify the perf delta, not to loosen
+//!   the test.
+
+use campaign::{Campaign, JobSpec, Verdict, WorkloadSource};
+use minjie::PerfSnapshot;
+use workloads::TortureConfig;
+
+fn run_kernel(name: &str, config: &str) -> PerfSnapshot {
+    let spec = JobSpec::new(WorkloadSource::kernel(name), config).with_max_cycles(8_000_000);
+    let report = Campaign::new(vec![spec]).with_workers(1).run();
+    let job = report.jobs.into_iter().next().expect("one record");
+    assert!(
+        matches!(job.verdict, Verdict::Halted { .. }),
+        "{name}/{config}: {:?}",
+        job.verdict
+    );
+    job.perf
+}
+
+/// Round to 3 decimals, the report's own IPC convention.
+fn r3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[test]
+fn cpi_identity_holds_on_every_tier1_workload() {
+    // Every kernel in the suite plus a batch of torture seeds, on both
+    // cache hierarchies: the attributor must account for every commit
+    // slot of every cycle with no gaps and no double counting.
+    let mut jobs = Vec::new();
+    for config in ["small-nh", "small-yqh"] {
+        for name in workloads::NAMES {
+            jobs.push(
+                JobSpec::new(WorkloadSource::kernel(name), config).with_max_cycles(8_000_000),
+            );
+        }
+        for seed in 0..3 {
+            jobs.push(
+                JobSpec::new(
+                    WorkloadSource::torture(seed, TortureConfig::default()),
+                    config,
+                )
+                .with_max_cycles(8_000_000),
+            );
+        }
+    }
+    let report = Campaign::new(jobs).with_workers(4).with_minimization(false).run();
+    assert_eq!(report.summary.halted, report.summary.total, "{}", report.deterministic_json());
+    for j in &report.jobs {
+        assert!(
+            j.perf.cpi_identity_holds(),
+            "{} on {}: CPI stack {:?} does not sum to cycles * width",
+            j.workload,
+            j.config,
+            j.perf.cpi_stack()
+        );
+        assert!(j.perf.cpi_stack().retired > 0, "{} retired nothing", j.workload);
+    }
+}
+
+#[test]
+fn golden_pins_mcf() {
+    // mcf is the pointer-chasing cache-hostile kernel: the no-L3 `nh`
+    // hierarchy gets crushed (70% L1D miss rate, memory-bound CPI),
+    // while `yqh`'s L2+L3 recover a big fraction of the stall slots.
+    let nh = run_kernel("mcf", "small-nh");
+    assert_eq!(r3(nh.ipc()), 0.233);
+    assert_eq!(r3(nh.mpki()), 0.097);
+    assert_eq!(r3(nh.l1d_miss_rate()), 0.709);
+    assert_eq!(nh.cpi_stack().top_stall().0, "memory_stall");
+
+    let yqh = run_kernel("mcf", "small-yqh");
+    assert_eq!(r3(yqh.ipc()), 0.347);
+    assert_eq!(r3(yqh.mpki()), 0.097);
+    assert_eq!(r3(yqh.l1d_miss_rate()), 0.073);
+    assert_eq!(yqh.cpi_stack().top_stall().0, "memory_stall");
+    assert!(yqh.ipc() > nh.ipc(), "the deeper hierarchy must win on mcf");
+}
+
+#[test]
+fn golden_pins_libquantum() {
+    // libquantum streams over a large array: high IPC, miss rate set by
+    // the prefetch-free line-granularity streaming pattern.
+    let nh = run_kernel("libquantum", "small-nh");
+    assert_eq!(r3(nh.ipc()), 1.596);
+    assert_eq!(r3(nh.mpki()), 0.092);
+    assert_eq!(r3(nh.l1d_miss_rate()), 0.119);
+    assert_eq!(nh.cpi_stack().top_stall().0, "memory_stall");
+
+    let yqh = run_kernel("libquantum", "small-yqh");
+    assert_eq!(r3(yqh.ipc()), 1.754);
+    assert_eq!(r3(yqh.mpki()), 0.092);
+    assert_eq!(r3(yqh.l1d_miss_rate()), 0.035);
+    assert_eq!(yqh.cpi_stack().top_stall().0, "memory_stall");
+}
