@@ -101,6 +101,10 @@ pub struct JobSpec {
     pub lightsss_interval: Option<u64>,
     /// Enable per-cycle telemetry (occupancy and latency histograms).
     pub telemetry: bool,
+    /// Per-attempt wall-clock limit, milliseconds (None defers to the
+    /// campaign-level policy). Exhausting every attempt is a
+    /// [`WallTimeout`](crate::Verdict::WallTimeout).
+    pub wall_timeout_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -114,6 +118,7 @@ impl JobSpec {
             max_cycles: 40_000_000,
             lightsss_interval: None,
             telemetry: false,
+            wall_timeout_ms: None,
         }
     }
 
@@ -144,6 +149,13 @@ impl JobSpec {
     /// Enable per-cycle telemetry (occupancy and latency histograms).
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
+        self
+    }
+
+    /// Set a per-attempt wall-clock limit for this job (overrides the
+    /// campaign-level policy).
+    pub fn with_wall_timeout_ms(mut self, ms: u64) -> Self {
+        self.wall_timeout_ms = Some(ms);
         self
     }
 

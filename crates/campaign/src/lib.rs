@@ -13,6 +13,12 @@
 //!   torture program's kept-mask while the same [`DiffError`] class
 //!   reproduces, and the report attaches the `(seed, cfg, mask)`
 //!   reproducer plus the LightSSS replay window.
+//! - Failed jobs (divergence, cycle-budget timeout, panic) are triaged:
+//!   the runner rolls back to the older retained LightSSS snapshot —
+//!   or the reset state when the failure preceded the first snapshot —
+//!   re-executes the failure window in debug mode, and embeds a
+//!   self-contained [`TriageBundle`] that [`verify_bundle`] (and the
+//!   `replay` binary) can reproduce at the identical commit index.
 //! - [`CampaignReport`] renders to JSON with wall-clock timing
 //!   segregated from the deterministic body, so identical campaigns
 //!   produce byte-identical report bodies.
@@ -39,6 +45,7 @@ pub mod job;
 pub mod minimize;
 pub mod report;
 pub mod runner;
+pub mod triage;
 
 pub use job::{error_class, JobSpec, WorkloadSource};
 pub use minimize::{minimize, MinimizeOutcome};
@@ -47,3 +54,7 @@ pub use report::{
     SCHEMA_VERSION,
 };
 pub use runner::Campaign;
+pub use triage::{
+    bundle_spec, verify_bundle, BundleSource, BundleVerification, TriageBundle,
+    BUNDLE_SCHEMA_VERSION,
+};

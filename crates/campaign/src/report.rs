@@ -8,13 +8,16 @@
 //! [`CampaignReport::full_json`] appends the timing section under the
 //! `"timing"` key.
 
+use crate::triage::TriageBundle;
 use minjie::{DiffError, PerfSnapshot};
 use serde::{Deserialize, Serialize};
 use serde_json::{Map, Value};
 use workloads::TortureConfig;
 
 /// Report schema version (bump on breaking shape changes).
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: triage bundles embedded per job, replay windows carry the
+/// reset-fallback flag and commit anchor, wall-clock timeout verdict.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// How one job ended.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,6 +39,16 @@ pub enum Verdict {
         /// The panic payload.
         message: String,
     },
+    /// The job exceeded its wall-clock budget on every attempt. The
+    /// recorded fields are configuration values, so the record stays
+    /// deterministic for a given campaign policy; whether this verdict
+    /// occurs at all necessarily depends on machine speed.
+    WallTimeout {
+        /// Per-attempt wall-clock limit, milliseconds.
+        limit_ms: u64,
+        /// Attempts made (1 + configured retries).
+        attempts: u64,
+    },
 }
 
 impl Verdict {
@@ -46,6 +59,7 @@ impl Verdict {
             Verdict::Diverged { .. } => "diverged",
             Verdict::Timeout => "timeout",
             Verdict::Panicked { .. } => "panicked",
+            Verdict::WallTimeout { .. } => "wall-timeout",
         }
     }
 }
@@ -53,10 +67,17 @@ impl Verdict {
 /// The LightSSS replay debrief attached to a divergence.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReplayWindow {
-    /// Cycle of the snapshot the replay restarted from.
+    /// Cycle of the snapshot the replay restarted from (0 for the
+    /// reset-state fallback).
     pub from_cycle: u64,
+    /// True when no snapshot had been retained yet and the replay fell
+    /// back to the reset state.
+    pub fallback_reset: bool,
     /// Cycle at which the divergence was originally detected.
     pub at_cycle: u64,
+    /// Commit index at which the replay reproduced the divergence (0
+    /// when it did not reproduce).
+    pub at_commit: u64,
     /// Cycles re-simulated in debug mode.
     pub cycles_replayed: u64,
     /// Whether the error reproduced identically.
@@ -114,6 +135,10 @@ pub struct JobRecord {
     pub replay: Option<ReplayWindow>,
     /// Minimized reproducer (diverged torture jobs only).
     pub minimized: Option<MinimizedRepro>,
+    /// Self-contained rollback-replay bundle (failed jobs when triage is
+    /// enabled): everything `replay --bundle` needs to reproduce the
+    /// failure at the identical commit index.
+    pub triage: Option<TriageBundle>,
     /// Cross-layer performance snapshot (integer counters only, so the
     /// deterministic-body property is preserved).
     pub perf: PerfSnapshot,
@@ -145,7 +170,7 @@ impl CampaignSummary {
             match j.verdict {
                 Verdict::Halted { .. } => s.halted += 1,
                 Verdict::Diverged { .. } => s.diverged += 1,
-                Verdict::Timeout => s.timeout += 1,
+                Verdict::Timeout | Verdict::WallTimeout { .. } => s.timeout += 1,
                 Verdict::Panicked { .. } => s.panicked += 1,
             }
         }
@@ -160,6 +185,10 @@ pub struct WallClock {
     pub total_ms: u64,
     /// Per-job wall time, milliseconds, in job order.
     pub per_job_ms: Vec<u64>,
+    /// Attempts each job took (retry-with-backoff policy), in job
+    /// order. Lives here, not in the body: attempt counts depend on
+    /// machine speed, exactly like the timings they accompany.
+    pub attempts: Vec<u64>,
 }
 
 /// A finished campaign.
@@ -220,6 +249,7 @@ mod tests {
             rule_counts: vec![("ScFailure".into(), 1)],
             replay: None,
             minimized: None,
+            triage: None,
             perf: PerfSnapshot::default(),
         }
     }
@@ -233,6 +263,7 @@ mod tests {
             wall_clock: WallClock {
                 total_ms: 123,
                 per_job_ms: vec![123],
+                attempts: vec![1],
             },
         };
         let det1 = r.deterministic_json();

@@ -6,17 +6,27 @@
 //! panic boundary, so a crashing simulation downs one job, not the
 //! pool. Results reassemble in job order, making the report body
 //! independent of worker interleaving.
+//!
+//! Failed jobs are *triaged*: the runner rolls back to the older
+//! retained LightSSS snapshot (or the reset state when the failure
+//! preceded the first snapshot interval), re-executes the failure
+//! window in debug mode, and embeds a self-contained
+//! [`TriageBundle`](crate::TriageBundle) in the job record. An optional
+//! wall-clock timeout bounds each attempt, with bounded
+//! retry-with-backoff before the job is written off as a
+//! [`Verdict::WallTimeout`].
 
 use crate::job::{error_class, JobSpec, WorkloadSource};
 use crate::minimize::minimize;
 use crate::report::{
     CampaignReport, CampaignSummary, JobRecord, MinimizedRepro, ReplayWindow, Verdict, WallClock,
 };
-use minjie::{run_isolated, CoSimEnd};
+use crate::triage::{triage_divergence, triage_panic, triage_timeout};
+use minjie::{run_isolated, run_isolated_salvaging, CoSimEnd};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use workloads::TortureProgram;
 
 /// Cycle budget for each minimizer re-run (candidates are subsets of an
@@ -33,16 +43,40 @@ pub struct Campaign {
     pub workers: usize,
     /// Delta-debug diverged torture jobs into minimized reproducers.
     pub minimize_failures: bool,
+    /// Triage failed jobs into self-contained replay bundles.
+    pub triage: bool,
+    /// Per-attempt wall-clock limit applied to every job that does not
+    /// carry its own (None disables the limit).
+    pub job_wall_timeout_ms: Option<u64>,
+    /// Retries after a wall-clock timeout before giving up.
+    pub job_retries: u32,
+    /// Backoff before the first retry, milliseconds (doubles each
+    /// retry).
+    pub retry_backoff_ms: u64,
+}
+
+/// Execution policy one worker needs (copied into the pool).
+#[derive(Clone, Copy)]
+struct JobPolicy {
+    minimize_failures: bool,
+    triage: bool,
+    wall_timeout_ms: Option<u64>,
+    retries: u32,
+    backoff_ms: u64,
 }
 
 impl Campaign {
     /// A campaign over `jobs` with default policy (4 workers,
-    /// minimization on).
+    /// minimization and triage on, no wall-clock limit).
     pub fn new(jobs: Vec<JobSpec>) -> Self {
         Campaign {
             jobs,
             workers: 4,
             minimize_failures: true,
+            triage: true,
+            job_wall_timeout_ms: None,
+            job_retries: 1,
+            retry_backoff_ms: 50,
         }
     }
 
@@ -58,41 +92,74 @@ impl Campaign {
         self
     }
 
+    /// Enable or disable rollback-replay triage of failed jobs.
+    pub fn with_triage(mut self, on: bool) -> Self {
+        self.triage = on;
+        self
+    }
+
+    /// Set a per-attempt wall-clock limit for every job.
+    pub fn with_job_wall_timeout_ms(mut self, ms: u64) -> Self {
+        self.job_wall_timeout_ms = Some(ms);
+        self
+    }
+
+    /// Set the retry budget after wall-clock timeouts.
+    pub fn with_job_retries(mut self, retries: u32) -> Self {
+        self.job_retries = retries;
+        self
+    }
+
+    /// Set the initial retry backoff (doubles each retry).
+    pub fn with_retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.retry_backoff_ms = ms;
+        self
+    }
+
     /// Run every job and assemble the report.
     pub fn run(&self) -> CampaignReport {
         let campaign_start = Instant::now();
         let queue: Arc<Mutex<VecDeque<(usize, JobSpec)>>> =
             Arc::new(Mutex::new(self.jobs.iter().cloned().enumerate().collect()));
-        let (tx, rx) = mpsc::channel::<(usize, JobRecord, u64)>();
+        let (tx, rx) = mpsc::channel::<(usize, JobRecord, u64, u64)>();
 
         std::thread::scope(|s| {
             for _ in 0..self.workers.max(1) {
                 let queue = Arc::clone(&queue);
                 let tx = tx.clone();
-                let minimize_failures = self.minimize_failures;
+                let policy = JobPolicy {
+                    minimize_failures: self.minimize_failures,
+                    triage: self.triage,
+                    wall_timeout_ms: self.job_wall_timeout_ms,
+                    retries: self.job_retries,
+                    backoff_ms: self.retry_backoff_ms,
+                };
                 s.spawn(move || loop {
                     let next = queue.lock().expect("queue lock").pop_front();
                     let Some((idx, spec)) = next else { break };
                     let t0 = Instant::now();
-                    let record = execute_job(idx, &spec, minimize_failures);
+                    let (record, attempts) = execute_job_with_policy(idx, &spec, policy);
                     let ms = t0.elapsed().as_millis() as u64;
-                    if tx.send((idx, record, ms)).is_err() {
+                    if tx.send((idx, record, ms, attempts)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
 
-            let mut slots: Vec<Option<(JobRecord, u64)>> = (0..self.jobs.len()).map(|_| None).collect();
-            for (idx, record, ms) in rx {
-                slots[idx] = Some((record, ms));
+            let mut slots: Vec<Option<(JobRecord, u64, u64)>> =
+                (0..self.jobs.len()).map(|_| None).collect();
+            for (idx, record, ms, attempts) in rx {
+                slots[idx] = Some((record, ms, attempts));
             }
             let mut jobs = Vec::with_capacity(slots.len());
             let mut per_job_ms = Vec::with_capacity(slots.len());
+            let mut per_job_attempts = Vec::with_capacity(slots.len());
             for slot in slots {
-                let (record, ms) = slot.expect("every job reports exactly once");
+                let (record, ms, attempts) = slot.expect("every job reports exactly once");
                 jobs.push(record);
                 per_job_ms.push(ms);
+                per_job_attempts.push(attempts);
             }
             CampaignReport {
                 workers: self.workers.max(1) as u64,
@@ -101,15 +168,16 @@ impl Campaign {
                 wall_clock: WallClock {
                     total_ms: campaign_start.elapsed().as_millis() as u64,
                     per_job_ms,
+                    attempts: per_job_attempts,
                 },
             }
         })
     }
 }
 
-/// Run one job to a deterministic record.
-fn execute_job(index: usize, spec: &JobSpec, minimize_failures: bool) -> JobRecord {
-    let mut record = JobRecord {
+/// The empty record every execution path starts from.
+fn base_record(index: usize, spec: &JobSpec) -> JobRecord {
+    JobRecord {
         index: index as u64,
         workload: spec.workload.describe(),
         config: spec.config.clone(),
@@ -122,8 +190,61 @@ fn execute_job(index: usize, spec: &JobSpec, minimize_failures: bool) -> JobReco
         rule_counts: Vec::new(),
         replay: None,
         minimized: None,
+        triage: None,
         perf: minjie::PerfSnapshot::default(),
+    }
+}
+
+/// Run one job under the wall-clock policy: each attempt executes on a
+/// dedicated thread; an attempt exceeding the limit is abandoned (the
+/// runaway thread is detached — its result, if any, is discarded) and
+/// retried after an exponentially growing backoff. Returns the record
+/// and the number of attempts made.
+fn execute_job_with_policy(index: usize, spec: &JobSpec, policy: JobPolicy) -> (JobRecord, u64) {
+    let limit_ms = match spec.wall_timeout_ms.or(policy.wall_timeout_ms) {
+        Some(ms) => ms,
+        None => return (execute_job(index, spec, policy), 1),
     };
+    let max_attempts = 1 + u64::from(policy.retries);
+    let mut backoff = policy.backoff_ms;
+    for attempt in 1..=max_attempts {
+        let (tx, rx) = mpsc::channel();
+        let spec_for_attempt = spec.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send(execute_job(index, &spec_for_attempt, policy));
+        });
+        match rx.recv_timeout(Duration::from_millis(limit_ms)) {
+            Ok(record) => return (record, attempt),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if attempt == max_attempts {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(backoff));
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The attempt thread died without reporting — treat like
+                // a contained panic (execute_job itself never panics, so
+                // this is a thread-infrastructure failure).
+                let mut record = base_record(index, spec);
+                record.verdict = Verdict::Panicked {
+                    message: "job attempt thread terminated without a result".into(),
+                };
+                return (record, attempt);
+            }
+        }
+    }
+    let mut record = base_record(index, spec);
+    record.verdict = Verdict::WallTimeout {
+        limit_ms,
+        attempts: max_attempts,
+    };
+    (record, max_attempts)
+}
+
+/// Run one job to a deterministic record.
+fn execute_job(index: usize, spec: &JobSpec, policy: JobPolicy) -> JobRecord {
+    let mut record = base_record(index, spec);
     let Some(cfg) = spec.build_config() else {
         record.verdict = Verdict::Panicked {
             message: format!("unknown configuration preset `{}`", spec.config),
@@ -131,8 +252,15 @@ fn execute_job(index: usize, spec: &JobSpec, minimize_failures: bool) -> JobReco
         return record;
     };
     let program = spec.workload.build();
-    match run_isolated(cfg, &program, spec.max_cycles, spec.lightsss_interval) {
-        Err(message) => record.verdict = Verdict::Panicked { message },
+    let (result, salvage) =
+        run_isolated_salvaging(cfg, &program, spec.max_cycles, spec.lightsss_interval);
+    match result {
+        Err(message) => {
+            if policy.triage {
+                record.triage = Some(triage_panic(index as u64, spec, &message));
+            }
+            record.verdict = Verdict::Panicked { message };
+        }
         Ok(stats) => {
             record.cycles = stats.cycles;
             record.commits_checked = stats.commits_checked;
@@ -147,17 +275,41 @@ fn execute_job(index: usize, spec: &JobSpec, minimize_failures: bool) -> JobReco
             record.perf = stats.perf;
             record.verdict = match stats.end {
                 CoSimEnd::Halted(exit_code) => Verdict::Halted { exit_code },
-                CoSimEnd::OutOfCycles => Verdict::Timeout,
+                CoSimEnd::OutOfCycles => {
+                    if policy.triage {
+                        if let Some(s) = salvage {
+                            record.triage = Some(triage_timeout(
+                                index as u64,
+                                spec,
+                                s,
+                                stats.cycles,
+                                stats.commits_checked,
+                            ));
+                        }
+                    }
+                    Verdict::Timeout
+                }
                 CoSimEnd::Bug(bug) => {
                     record.replay = bug.replay.as_ref().map(|r| ReplayWindow {
                         from_cycle: r.from_cycle,
+                        fallback_reset: r.fallback_reset,
                         at_cycle: bug.at_cycle,
+                        at_commit: r.at_commit,
                         cycles_replayed: r.cycles_replayed,
                         reproduced: r.reproduced,
                         trace_records: r.trace.records_inserted(),
                     });
-                    if minimize_failures {
+                    if policy.minimize_failures {
                         record.minimized = minimize_torture_failure(spec, &bug.error);
+                    }
+                    if policy.triage {
+                        record.triage = Some(triage_divergence(
+                            index as u64,
+                            spec,
+                            &bug,
+                            salvage,
+                            record.minimized.clone(),
+                        ));
                     }
                     Verdict::Diverged { error: bug.error }
                 }
@@ -239,8 +391,10 @@ mod tests {
         for (i, j) in report.jobs.iter().enumerate() {
             assert_eq!(j.index, i as u64, "records must be in job order");
             assert!(j.cycles > 0 && j.ipc > 0.0);
+            assert!(j.triage.is_none(), "healthy jobs carry no bundle");
         }
         assert_eq!(report.wall_clock.per_job_ms.len(), 6);
+        assert_eq!(report.wall_clock.attempts, vec![1; 6]);
     }
 
     #[test]
@@ -255,5 +409,52 @@ mod tests {
             &report.jobs[0].verdict,
             Verdict::Panicked { message } if message.contains("not-a-preset")
         ));
+    }
+
+    #[test]
+    fn wall_clock_timeout_exhausts_retries() {
+        // A long torture run cannot finish within 1 ms: every attempt
+        // times out and the job is written off as WallTimeout. Attempt
+        // counts land in the timing section only.
+        let slow = TortureConfig {
+            body_len: 200,
+            iterations: 50_000,
+            ..Default::default()
+        };
+        let jobs = vec![JobSpec::new(WorkloadSource::torture(0, slow), "small-nh")
+            .with_max_cycles(200_000_000)];
+        let report = Campaign::new(jobs)
+            .with_workers(1)
+            .with_minimization(false)
+            .with_job_wall_timeout_ms(1)
+            .with_job_retries(1)
+            .with_retry_backoff_ms(1)
+            .run();
+        assert_eq!(report.summary.timeout, 1, "{}", report.deterministic_json());
+        match &report.jobs[0].verdict {
+            Verdict::WallTimeout { limit_ms, attempts } => {
+                assert_eq!(*limit_ms, 1);
+                assert_eq!(*attempts, 2, "1 try + 1 retry");
+            }
+            other => panic!("expected WallTimeout, got {other:?}"),
+        }
+        assert_eq!(report.wall_clock.attempts, vec![2]);
+        // Measured wall-clock data never reaches the deterministic body
+        // (the WallTimeout verdict's fields are configuration values).
+        assert!(!report.deterministic_json().contains("per_job_ms"));
+    }
+
+    #[test]
+    fn generous_wall_clock_limit_does_not_disturb_results() {
+        let jobs = vec![
+            JobSpec::new(WorkloadSource::torture(1, quick_torture()), "small-nh")
+                .with_max_cycles(4_000_000),
+        ];
+        let report = Campaign::new(jobs)
+            .with_workers(1)
+            .with_job_wall_timeout_ms(120_000)
+            .run();
+        assert_eq!(report.summary.halted, 1, "{}", report.deterministic_json());
+        assert_eq!(report.wall_clock.attempts, vec![1]);
     }
 }

@@ -70,6 +70,38 @@ fn injected_bug_is_caught_minimized_and_reported() {
 }
 
 #[test]
+fn diverged_jobs_carry_a_bundle_that_replays_at_the_same_commit() {
+    // The ISSUE 3 acceptance loop: a MulLowBit campaign with LightSSS on
+    // must yield a replay bundle for every divergence, and re-executing
+    // the bundle's recipe from reset must reproduce the identical
+    // DiffError at the identical commit index.
+    let report = bug_campaign(0..3).run();
+    let mut verified = 0;
+    for j in &report.jobs {
+        let Verdict::Diverged { error } = &j.verdict else {
+            assert!(j.triage.is_none(), "only failed jobs are triaged");
+            continue;
+        };
+        let bundle = j.triage.as_ref().expect("diverged job carries a bundle");
+        assert_eq!(bundle.trigger, "diverged");
+        assert_eq!(bundle.error.as_ref(), Some(error));
+        assert_eq!(bundle.at_commit, j.commits_checked, "anchor = detection point");
+        assert!(bundle.reproduced, "rollback replay reproduced in-run");
+        assert!(!bundle.commit_tail.is_empty(), "commit tail captured");
+        assert!(bundle.window_cpi.total() > 0, "window CPI stack is live");
+        assert!(
+            bundle.minimized.is_some(),
+            "minimized reproducer rides inside the bundle"
+        );
+        let v = campaign::verify_bundle(bundle).expect("bundle recipe resolves");
+        assert!(v.reproduced, "bundle replay diverges identically: {}", v.detail);
+        assert_eq!(v.at_commit, bundle.at_commit, "identical commit index");
+        verified += 1;
+    }
+    assert!(verified >= 1, "at least one divergence verified end to end");
+}
+
+#[test]
 fn clean_presets_never_diverge_on_the_same_seeds() {
     // Control: identical jobs without the injected bug sail through.
     let cfg = TortureConfig::default();
@@ -85,17 +117,25 @@ fn clean_presets_never_diverge_on_the_same_seeds() {
 
 #[test]
 fn identical_campaigns_produce_byte_identical_report_bodies() {
-    // Includes diverging jobs, so minimizer determinism is covered too.
+    // Includes diverging jobs, so minimizer AND triage determinism are
+    // covered: the embedded replay bundles must be byte-identical too.
     let a = bug_campaign(0..4).run();
     let b = bug_campaign(0..4).run();
+    let body = a.deterministic_json();
     assert_eq!(
-        a.deterministic_json(),
+        body,
         b.deterministic_json(),
         "deterministic body must not depend on scheduling or wall clock"
     );
+    assert!(body.contains("\"triage\""), "bundles are part of the body");
+    // No wall-clock-derived field may leak into the deterministic body.
+    for leak in ["total_ms", "per_job_ms", "\"timing\"", "wall_clock"] {
+        assert!(!body.contains(leak), "timing leak: {leak}");
+    }
     // And the full reports are valid JSON with the timing section.
     let full: serde_json::Value = serde_json::from_str(&a.full_json()).expect("valid JSON");
     assert!(full["timing"]["total_ms"].as_u64().is_some());
+    assert!(full["timing"]["attempts"].as_array().is_some());
     assert_eq!(
         full["jobs"][0]["workload"],
         "torture:seed=0"

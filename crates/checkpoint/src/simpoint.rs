@@ -4,16 +4,29 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Dimensionality after random projection (SimPoint uses 15; we keep a
 /// little more headroom).
 pub const PROJECTED_DIM: usize = 32;
 
+/// Fixed seed of the random-projection matrix. Pinned so that the
+/// projection — and therefore every BBV, cluster, and checkpoint
+/// selection derived from it — is reproducible across runs, platforms,
+/// and worker counts. Changing this constant is a compatibility break
+/// for stored BBVs.
+pub const PROJECTION_SEED: u64 = 0x5351_u64 << 32 | 0x1D07;
+
 /// Collects basic-block execution counts for one interval.
+///
+/// Counts live in a `BTreeMap`, not a `HashMap`: `finish` accumulates
+/// `f64` contributions per block, and float addition is not
+/// associative — a hash-order iteration would make the projected
+/// vector's low bits depend on insertion history and `RandomState`,
+/// breaking bit-for-bit reproducibility of checkpoint selection.
 #[derive(Debug, Clone, Default)]
 pub struct BbvCollector {
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
     instructions: u64,
 }
 
@@ -37,17 +50,26 @@ impl BbvCollector {
 
     /// Finish the interval: produce the normalized, randomly projected
     /// vector and reset the collector.
+    ///
+    /// An empty interval (no instructions recorded) yields the zero
+    /// vector: without the guard a 0/0 normalization would poison the
+    /// vector with NaNs, and every distance k-means later computes
+    /// against it would be NaN too.
     pub fn finish(&mut self) -> Vec<f64> {
         let mut v = vec![0.0f64; PROJECTED_DIM];
-        let total = self.instructions.max(1) as f64;
+        if self.instructions == 0 {
+            self.counts.clear();
+            return v;
+        }
+        let total = self.instructions as f64;
         for (&pc, &cnt) in &self.counts {
-            // Deterministic random projection: each block contributes to
-            // every dimension with a hash-derived ±weight.
-            let mut h = pc.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            // Deterministic random projection: each block's ±weight row
+            // comes from an explicitly seeded generator, so the same
+            // block projects identically in every run (PROJECTION_SEED).
+            let mut rng =
+                StdRng::seed_from_u64(PROJECTION_SEED ^ pc.wrapping_mul(0x9e37_79b9_7f4a_7c15));
             for slot in v.iter_mut() {
-                h ^= h >> 29;
-                h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                let sign = if h & 1 == 0 { 1.0 } else { -1.0 };
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
                 *slot += sign * (cnt as f64) / total;
             }
         }
@@ -217,6 +239,53 @@ mod tests {
             assert!((a - b).abs() < 1e-12);
         }
     }
+
+    #[test]
+    fn empty_interval_yields_the_zero_vector() {
+        let mut b = BbvCollector::new();
+        let v = b.finish();
+        assert_eq!(v, vec![0.0; PROJECTED_DIM], "no NaNs, no garbage");
+        // An empty vector must be harmless downstream: clustering a mix
+        // of empty and non-empty intervals stays NaN-free.
+        let mut b2 = BbvCollector::new();
+        b2.record(0x1000, 10);
+        let pts = simpoints(&[v, b2.finish()], 2, 0);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert!(p.weight.is_finite());
+        }
+    }
+
+    #[test]
+    fn projection_is_pinned() {
+        // The projection matrix is part of the stored-BBV format: this
+        // vector must never change across releases, platforms, or runs
+        // (see PROJECTION_SEED). Counts 1 + 3 of 4 give exact binary
+        // fractions, so equality is exact.
+        let mut b = BbvCollector::new();
+        b.record(0x1000, 1);
+        b.record(0x2000, 3);
+        let v = b.finish();
+        let mut b2 = BbvCollector::new();
+        b2.record(0x1000, 1);
+        b2.record(0x2000, 3);
+        assert_eq!(v, b2.finish(), "same interval, same vector");
+        for x in &v {
+            assert!(
+                [1.0, 0.5, -0.5, -1.0].contains(x),
+                "slots are exact ±0.25 ± 0.75 sums: {v:?}"
+            );
+        }
+        let pinned: [f64; PROJECTED_DIM] = PINNED_PROJECTION;
+        assert_eq!(v.as_slice(), pinned.as_slice(), "got {v:?}");
+    }
+
+    /// The frozen projection of `{0x1000: 1, 0x2000: 3}` under
+    /// `PROJECTION_SEED` (see `projection_is_pinned`).
+    const PINNED_PROJECTION: [f64; PROJECTED_DIM] = [
+        -0.5, 0.5, -0.5, -0.5, 0.5, -0.5, -0.5, -1.0, 1.0, -0.5, 0.5, 1.0, -1.0, -0.5, 0.5, 1.0,
+        1.0, 1.0, -0.5, -0.5, 0.5, 0.5, -0.5, 1.0, -0.5, 1.0, -0.5, 0.5, 1.0, 1.0, 0.5, -1.0,
+    ];
 
     fn synthetic_phases() -> Vec<Vec<f64>> {
         // Three clearly distinct program phases, 10 intervals each.

@@ -60,6 +60,10 @@ pub struct BugReport {
     pub error: DiffError,
     /// Cycle at which the divergence was detected.
     pub at_cycle: u64,
+    /// Commit index (commits checked, across harts) at which the
+    /// divergence was detected — the anchor a deterministic replay must
+    /// hit again.
+    pub at_commit: u64,
     /// Replay information, when LightSSS was enabled.
     pub replay: Option<ReplayReport>,
 }
@@ -67,12 +71,22 @@ pub struct BugReport {
 /// The result of the on-demand debug-mode replay (§III-C3).
 #[derive(Debug)]
 pub struct ReplayReport {
-    /// Cycle of the snapshot the replay started from.
+    /// Cycle of the snapshot the replay started from (0 for the
+    /// reset-state fallback).
     pub from_cycle: u64,
-    /// Cycles re-simulated (bounded by 2 × interval).
+    /// True when no snapshot had been retained yet and the replay fell
+    /// back to the reset state.
+    pub fallback_reset: bool,
+    /// Cycles re-simulated (bounded by 2 × interval when a snapshot was
+    /// available).
     pub cycles_replayed: u64,
     /// The error reproduced identically.
     pub reproduced: bool,
+    /// Commit index at which the replay reproduced the error (0 when it
+    /// did not reproduce).
+    pub at_commit: u64,
+    /// CPI stack of the replayed window alone (end minus start).
+    pub window_cpi: xscore::CpiStack,
     /// Events captured in debug mode during the replay.
     pub trace: ArchDb,
 }
@@ -81,6 +95,9 @@ pub struct ReplayReport {
 pub struct CoSim {
     /// Live simulation state.
     pub state: CoSimState,
+    /// The reset state (a COW clone taken at boot): the rollback target
+    /// when a failure strikes before the first snapshot interval.
+    reset: Box<CoSimState>,
     /// Snapshot manager (None disables LightSSS).
     pub lightsss: Option<LightSss<CoSimState>>,
     /// Event database (populated in debug mode).
@@ -90,18 +107,40 @@ pub struct CoSim {
     pub debug_mode: bool,
 }
 
+/// Per-table row cap of the bounded trace a debug-mode replay records.
+const REPLAY_TRACE_CAP: usize = 65_536;
+
 impl CoSim {
     /// Boot a program under co-simulation.
     pub fn new(cfg: XsConfig, program: &Program) -> Self {
         let harts = cfg.cores;
         let sys = XsSystem::new(cfg, program);
         let diff = DiffTest::for_program(program, harts);
+        let state = CoSimState { sys, diff };
         CoSim {
-            state: CoSimState { sys, diff },
+            reset: Box::new(state.clone()),
+            state,
             lightsss: None,
             archdb: ArchDb::new(),
             debug_mode: false,
         }
+    }
+
+    /// Build a debug-mode harness resuming from a snapshot (or salvaged)
+    /// state: commit/drain tracing on, bounded trace, no snapshots.
+    pub fn debug_resume(state: CoSimState) -> Self {
+        CoSim {
+            reset: Box::new(state.clone()),
+            state,
+            lightsss: None,
+            archdb: ArchDb::bounded(REPLAY_TRACE_CAP),
+            debug_mode: true,
+        }
+    }
+
+    /// The reset state captured at boot.
+    pub fn reset_state(&self) -> &CoSimState {
+        &self.reset
     }
 
     /// Enable LightSSS with the given snapshot interval (cycles).
@@ -155,10 +194,12 @@ impl CoSim {
             }
             if let Err(error) = self.step_cycle() {
                 let at_cycle = self.state.time();
+                let at_commit = self.state.diff.commits_checked;
                 let replay = self.replay(&error);
                 return CoSimEnd::Bug(BugReport {
                     error,
                     at_cycle,
+                    at_commit,
                     replay,
                 });
             }
@@ -168,20 +209,30 @@ impl CoSim {
 
     /// On-demand debugging: restore the older snapshot and re-simulate in
     /// debug mode until the error reproduces (§III-C3, Fig. 5d).
-    fn replay(&mut self, original: &DiffError) -> Option<ReplayReport> {
-        let snap = self.lightsss.as_ref()?.oldest()?;
-        let from_cycle = snap.at;
+    ///
+    /// Returns `None` only when LightSSS is disabled entirely. When the
+    /// failure strikes before the first snapshot interval — so no
+    /// snapshot has been retained — the replay falls back to the reset
+    /// state instead of panicking on `oldest()`, starting from cycle 0.
+    pub fn replay(&self, original: &DiffError) -> Option<ReplayReport> {
+        let lightsss = self.lightsss.as_ref()?;
+        let (from_cycle, start, fallback_reset) = match lightsss.oldest() {
+            Some(snap) => (snap.at, snap.state.clone(), false),
+            None => (0, (*self.reset).clone(), true),
+        };
         // Bounded trace: a runaway replay (large interval, slow
         // reproduction) keeps only the newest window per table instead of
         // growing without limit.
-        let mut replayed = CoSim {
-            state: snap.state.clone(),
-            lightsss: None,
-            archdb: ArchDb::bounded(65_536),
-            debug_mode: true,
+        let mut replayed = CoSim::debug_resume(start);
+        let budget = if fallback_reset {
+            // The whole failing prefix is the window: reset → failure.
+            self.state.time() + 10_000
+        } else {
+            4 * lightsss.interval + 10_000
         };
-        let budget = 4 * self.lightsss.as_ref()?.interval + 10_000;
+        let start_cpi = crate::telemetry::PerfSnapshot::collect(&replayed.state.sys).cpi_stack();
         let mut reproduced = false;
+        let mut at_commit = 0;
         for _ in 0..budget {
             if replayed.state.sys.all_halted() {
                 break;
@@ -190,17 +241,31 @@ impl CoSim {
                 Ok(()) => {}
                 Err(e) => {
                     reproduced = &e == original;
+                    at_commit = replayed.state.diff.commits_checked;
                     break;
                 }
             }
         }
+        let end_cpi = crate::telemetry::PerfSnapshot::collect(&replayed.state.sys).cpi_stack();
         Some(ReplayReport {
             from_cycle,
+            fallback_reset,
             cycles_replayed: replayed.state.time().saturating_sub(from_cycle),
             reproduced,
+            at_commit,
+            window_cpi: end_cpi.saturating_sub(&start_cpi),
             trace: replayed.archdb,
         })
     }
+}
+
+/// Render a caught panic payload as text.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic with non-string payload".into())
 }
 
 /// Outcome and summary statistics of one isolated co-simulation run.
@@ -222,6 +287,19 @@ pub struct RunStats {
     pub perf: crate::telemetry::PerfSnapshot,
 }
 
+/// A rollback start point salvaged from a finished run, so a
+/// campaign-level triage pass can re-execute the failure window after
+/// `run_isolated` has already torn the harness down.
+pub struct Salvage {
+    /// Cycle of the salvaged state (0 for the reset fallback).
+    pub snapshot_cycle: u64,
+    /// True when no snapshot had been retained and the reset state was
+    /// salvaged instead.
+    pub fallback_reset: bool,
+    /// The rollback state itself (COW clone — cheap).
+    pub state: CoSimState,
+}
+
 /// Construct and run a co-simulation inside a panic boundary.
 ///
 /// A campaign worker must survive a crashing job: any panic raised while
@@ -239,13 +317,36 @@ pub fn run_isolated(
     max_cycles: u64,
     lightsss_interval: Option<u64>,
 ) -> Result<RunStats, String> {
+    run_isolated_salvaging(cfg, program, max_cycles, lightsss_interval).0
+}
+
+/// [`run_isolated`], additionally salvaging a rollback start point when
+/// the run ends without its own replay debrief: on a cycle-budget
+/// timeout (oldest snapshot, or the reset state), and on a divergence
+/// with LightSSS disabled (reset state). A panic unwinds the harness, so
+/// nothing can be salvaged on the `Err` path.
+pub fn run_isolated_salvaging(
+    cfg: XsConfig,
+    program: &Program,
+    max_cycles: u64,
+    lightsss_interval: Option<u64>,
+) -> (Result<RunStats, String>, Option<Salvage>) {
     let program = program.clone();
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         let mut cosim = CoSim::new(cfg, &program);
         if let Some(iv) = lightsss_interval {
             cosim = cosim.with_lightsss(iv);
         }
         let end = cosim.run(max_cycles);
+        let salvage = match &end {
+            CoSimEnd::OutOfCycles => Some(salvage_from(&cosim)),
+            CoSimEnd::Bug(bug) if bug.replay.is_none() => Some(Salvage {
+                snapshot_cycle: 0,
+                fallback_reset: true,
+                state: (*cosim.reset).clone(),
+            }),
+            _ => None,
+        };
         let mut rule_counts: Vec<(String, u64)> = cosim
             .state
             .diff
@@ -255,23 +356,39 @@ pub fn run_isolated(
             .map(|(k, &v)| (k.clone(), v))
             .collect();
         rule_counts.sort();
-        RunStats {
-            cycles: cosim.state.time(),
-            commits_checked: cosim.state.diff.commits_checked,
-            instret: cosim.state.sys.cores.iter().map(|c| c.instret()).sum(),
-            exceptions: cosim.state.sys.cores.iter().map(|c| c.perf.exceptions).sum(),
-            rule_counts,
-            perf: crate::telemetry::PerfSnapshot::collect(&cosim.state.sys),
-            end,
-        }
-    }))
-    .map_err(|payload| {
-        payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "panic with non-string payload".into())
-    })
+        (
+            RunStats {
+                cycles: cosim.state.time(),
+                commits_checked: cosim.state.diff.commits_checked,
+                instret: cosim.state.sys.cores.iter().map(|c| c.instret()).sum(),
+                exceptions: cosim.state.sys.cores.iter().map(|c| c.perf.exceptions).sum(),
+                rule_counts,
+                perf: crate::telemetry::PerfSnapshot::collect(&cosim.state.sys),
+                end,
+            },
+            salvage,
+        )
+    })) {
+        Ok((stats, salvage)) => (Ok(stats), salvage),
+        Err(payload) => (Err(panic_message(payload)), None),
+    }
+}
+
+/// The preferred rollback start of a live harness: oldest retained
+/// snapshot, falling back to the reset state.
+fn salvage_from(cosim: &CoSim) -> Salvage {
+    match cosim.lightsss.as_ref().and_then(LightSss::oldest) {
+        Some(snap) => Salvage {
+            snapshot_cycle: snap.at,
+            fallback_reset: false,
+            state: snap.state.clone(),
+        },
+        None => Salvage {
+            snapshot_cycle: 0,
+            fallback_reset: true,
+            state: (*cosim.reset).clone(),
+        },
+    }
 }
 
 // The campaign runner shards CoSims across a worker pool, so the whole
@@ -355,10 +472,12 @@ mod tests {
             }
             if let Err(error) = cosim.step_cycle() {
                 let at_cycle = cosim.state.time();
+                let at_commit = cosim.state.diff.commits_checked;
                 let replay = cosim.replay(&error);
                 end = Some(CoSimEnd::Bug(BugReport {
                     error,
                     at_cycle,
+                    at_commit,
                     replay,
                 }));
                 break;
@@ -369,15 +488,45 @@ mod tests {
                 assert!(matches!(report.error, DiffError::Writeback { .. }));
                 let replay = report.replay.expect("lightsss enabled");
                 assert!(replay.from_cycle <= report.at_cycle);
+                assert!(!replay.fallback_reset, "snapshots were retained");
                 assert!(
                     report.at_cycle - replay.from_cycle <= 2 * 2_000 + 2_000,
                     "replay window bounded"
                 );
                 // Debug-mode trace captured commit events around the bug.
                 assert!(replay.trace.table("instr_commit").is_some());
+                // The replayed window did real work: its CPI stack is live.
+                assert!(replay.window_cpi.total() > 0);
             }
             other => panic!("expected a bug, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn divergence_before_first_snapshot_replays_from_reset() {
+        // Regression (ISSUE 3 satellite): an interval larger than the
+        // failure cycle leaves LightSSS with zero retained snapshots; the
+        // replay must fall back to the reset state, not unwrap `oldest()`.
+        // The very first committed instruction is a corrupted Mul, so the
+        // co-sim diverges in cycle 1 of a fresh harness.
+        let mut a = Asm::new(0x8000_0000);
+        a.mul(A0, S0, S1);
+        a.ebreak();
+        let program = a.assemble();
+        let mut cfg = tiny_cfg(1);
+        cfg.injected_bug = Some(xscore::InjectedBug::MulLowBit);
+        let mut cosim = CoSim::new(cfg, &program).with_lightsss(1 << 40);
+        let end = cosim.run(500_000);
+        let CoSimEnd::Bug(report) = end else {
+            panic!("expected an immediate divergence, got {end:?}");
+        };
+        assert_eq!(report.at_commit, 1, "first commit diverges");
+        assert_eq!(cosim.lightsss.as_ref().unwrap().retained(), 0);
+        let replay = report.replay.expect("replay must not require a snapshot");
+        assert!(replay.fallback_reset, "reset-state fallback taken");
+        assert_eq!(replay.from_cycle, 0);
+        assert!(replay.reproduced, "reset replay reproduces the divergence");
+        assert_eq!(replay.at_commit, report.at_commit);
     }
 
     #[test]

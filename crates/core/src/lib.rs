@@ -45,7 +45,10 @@ pub mod rules;
 pub mod telemetry;
 
 pub use archdb::ArchDb;
-pub use cosim::{run_isolated, BugReport, CoSim, CoSimEnd, CoSimState, ReplayReport, RunStats};
+pub use cosim::{
+    panic_message, run_isolated, run_isolated_salvaging, BugReport, CoSim, CoSimEnd, CoSimState,
+    ReplayReport, RunStats, Salvage,
+};
 pub use difftest::{DiffError, DiffTest, GlobalMemory, NemuRef, RefModel};
 pub use lightsss::{LightSss, Snapshot, Snapshotable, Sss};
 pub use rules::{compare_csrs, CsrFieldKind, CsrFieldRule, CsrRuleTable, DiffRule, RuleStats};

@@ -67,10 +67,15 @@ impl<S: Snapshotable> LightSss<S> {
 
     /// Offer the current state; a snapshot is captured when the interval
     /// elapsed. Returns true when one was taken.
+    ///
+    /// The first snapshot is due once `interval` cycles have elapsed —
+    /// a failure inside the first interval therefore finds no retained
+    /// snapshot, and rollback must fall back to the reset state (see
+    /// `CoSim::replay`).
     pub fn tick(&mut self, state: &S) -> bool {
         let now = state.time();
         let due = match self.last_at {
-            None => true,
+            None => now >= self.interval,
             Some(last) => now >= last + self.interval,
         };
         if !due {
@@ -254,6 +259,25 @@ mod tests {
             light.snapshot_cost,
             heavy.snapshot_cost
         );
+    }
+
+    #[test]
+    fn no_snapshot_before_the_first_interval() {
+        // The pre-first-snapshot window exists by design: rollback in it
+        // must fall back to the reset state instead of unwrapping
+        // `oldest()` (ISSUE 3 satellite).
+        let mut s = sim();
+        let mut l = LightSss::new(100);
+        for c in 0..100 {
+            s.cycle = c;
+            assert!(!l.tick(&s), "no snapshot due before cycle 100");
+        }
+        assert_eq!(l.retained(), 0);
+        assert!(l.oldest().is_none() && l.newest().is_none());
+        s.cycle = 100;
+        assert!(l.tick(&s));
+        assert_eq!(l.retained(), 1);
+        assert_eq!(l.oldest().unwrap().at, 100);
     }
 
     #[test]

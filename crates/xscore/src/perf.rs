@@ -56,6 +56,24 @@ impl CpiStack {
         ]
     }
 
+    /// Component-wise saturating difference — the stack of a simulation
+    /// *window* given the cumulative stacks at its two endpoints (the
+    /// triage replay charges only the re-executed failure window).
+    pub fn saturating_sub(&self, start: &CpiStack) -> CpiStack {
+        CpiStack {
+            retired: self.retired.saturating_sub(start.retired),
+            frontend_starved: self.frontend_starved.saturating_sub(start.frontend_starved),
+            mispredict_recovery: self
+                .mispredict_recovery
+                .saturating_sub(start.mispredict_recovery),
+            memory_stall: self.memory_stall.saturating_sub(start.memory_stall),
+            rob_full: self.rob_full.saturating_sub(start.rob_full),
+            iq_full: self.iq_full.saturating_sub(start.iq_full),
+            serialization: self.serialization.saturating_sub(start.serialization),
+            other: self.other.saturating_sub(start.other),
+        }
+    }
+
     /// The largest non-retired component (name, slots).
     pub fn top_stall(&self) -> (&'static str, u64) {
         self.components()[1..]
@@ -190,6 +208,27 @@ mod tests {
         assert_eq!(s.total(), 100);
         assert_eq!(s.top_stall(), ("memory_stall", 30));
         assert_eq!(s.components()[0], ("retired", 50));
+    }
+
+    #[test]
+    fn cpi_stack_window_difference() {
+        let start = CpiStack {
+            retired: 40,
+            memory_stall: 10,
+            ..Default::default()
+        };
+        let end = CpiStack {
+            retired: 100,
+            memory_stall: 25,
+            frontend_starved: 7,
+            ..Default::default()
+        };
+        let window = end.saturating_sub(&start);
+        assert_eq!(window.retired, 60);
+        assert_eq!(window.memory_stall, 15);
+        assert_eq!(window.frontend_starved, 7);
+        // Differences never underflow.
+        assert_eq!(start.saturating_sub(&end).retired, 0);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 #      wall-clock timeout and a JSON-validity check on the report,
 #   4. a perf smoke — one kernel under full telemetry; the PerfSnapshot
 #      artifact must have a live CPI stack and nonzero cache/DRAM
-#      counters, and perf_report must render it cleanly.
+#      counters, and perf_report must render it cleanly,
+#   5. a triage smoke — an injected-bug campaign with LightSSS on must
+#      produce a self-contained replay bundle, and `replay --bundle`
+#      must reproduce the divergence at the identical commit index.
 #
 # The campaign step is what the paper calls the verification flow: any
 # DUT regression that makes a workload diverge, hang, or panic fails
@@ -40,7 +43,7 @@ timeout 600 target/release/campaign \
 python3 - "$report" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 1, r["schema_version"]
+assert r["schema_version"] == 2, r["schema_version"]
 s = r["summary"]
 assert s["total"] == 12 and s["halted"] == 12, s
 assert len(r["jobs"]) == 12
@@ -84,5 +87,51 @@ EOF
 
 target/release/perf_report "$perf_report_json" > /dev/null
 target/release/perf_report "$perf_snapshot" | head -12
+
+echo "== tier-1: triage smoke (injected bug -> bundle -> replay) =="
+triage_report="$(mktemp /tmp/triage-smoke.XXXXXX.json)"
+bundle_dir="$(mktemp -d /tmp/triage-bundles.XXXXXX)"
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report"; rm -rf "$bundle_dir"' EXIT
+# The injected MulLowBit bug must make some seeds diverge, so the
+# campaign exits 1 by contract; any other status is a failure.
+set +e
+timeout 600 target/release/campaign \
+    --torture-seeds 0..3 \
+    --configs small-nh \
+    --inject-bug mul-low-bit \
+    --lightsss 2000 \
+    --max-cycles 8000000 \
+    --workers 3 \
+    --no-minimize \
+    --bundle-dir "$bundle_dir" \
+    --out "$triage_report"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "triage smoke: expected exit 1 (diverged jobs), got $rc" >&2
+    exit 1
+fi
+
+bundle_file="$(python3 - "$triage_report" "$bundle_dir" <<'EOF'
+import json, os, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema_version"] == 2, r["schema_version"]
+diverged = [j for j in r["jobs"] if "Diverged" in j["verdict"]]
+assert diverged, "injected bug produced no divergence"
+bundled = [j for j in diverged if j.get("triage")]
+assert bundled, "diverged jobs carry no triage bundle"
+j = bundled[0]
+b = j["triage"]
+assert b["trigger"] == "diverged" and b["reproduced"], b["trigger"]
+assert b["at_commit"] > 0 and b["commit_tail"], "bundle lacks the commit anchor/tail"
+path = os.path.join(sys.argv[2], f"job{j['index']}.bundle.json")
+assert os.path.exists(path), f"bundle file missing: {path}"
+print(path)
+EOF
+)"
+echo "triage smoke bundle: $bundle_file"
+# The bundle alone must reproduce the divergence at the same commit
+# index (replay exits 0 only on REPRODUCED).
+timeout 300 target/release/replay --bundle "$bundle_file"
 
 echo "== tier-1 gate passed =="

@@ -5,7 +5,9 @@
 //! campaign [--workloads mcf,lbm] [--configs small-nh,small-yqh]
 //!          [--torture-seeds 0..8] [--workers 4] [--max-cycles 40000000]
 //!          [--lightsss N] [--inject-bug mul-low-bit|addw-no-sext]
-//!          [--telemetry] [--no-minimize] [--out report.json]
+//!          [--telemetry] [--no-minimize] [--no-triage]
+//!          [--bundle-dir DIR] [--job-timeout-ms N] [--retries N]
+//!          [--retry-backoff-ms N] [--out report.json]
 //! ```
 //!
 //! The job list is the cross product of every named workload and every
@@ -23,7 +25,9 @@ fn usage(err: &str) -> ! {
         "usage: campaign [--workloads k1,k2] [--configs c1,c2] [--torture-seeds A..B|s1,s2]\n\
          \x20               [--workers N] [--max-cycles N] [--lightsss N]\n\
          \x20               [--inject-bug mul-low-bit|addw-no-sext] [--telemetry]\n\
-         \x20               [--no-minimize] [--out FILE]\n\
+         \x20               [--no-minimize] [--no-triage] [--bundle-dir DIR]\n\
+         \x20               [--job-timeout-ms N] [--retries N] [--retry-backoff-ms N]\n\
+         \x20               [--out FILE]\n\
          kernels: {}\n\
          configs: {}",
         workloads::NAMES.join(", "),
@@ -54,7 +58,12 @@ fn main() {
     let mut lightsss: Option<u64> = None;
     let mut inject: Option<InjectedBug> = None;
     let mut minimize = true;
+    let mut triage = true;
     let mut telemetry = false;
+    let mut bundle_dir: Option<String> = None;
+    let mut job_timeout_ms: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut retry_backoff_ms: Option<u64> = None;
     let mut out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -89,6 +98,19 @@ fn main() {
             }
             "--telemetry" => telemetry = true,
             "--no-minimize" => minimize = false,
+            "--no-triage" => triage = false,
+            "--bundle-dir" => bundle_dir = Some(value()),
+            "--job-timeout-ms" => {
+                job_timeout_ms =
+                    Some(value().parse().unwrap_or_else(|_| usage("bad --job-timeout-ms")));
+            }
+            "--retries" => {
+                retries = Some(value().parse().unwrap_or_else(|_| usage("bad --retries")));
+            }
+            "--retry-backoff-ms" => {
+                retry_backoff_ms =
+                    Some(value().parse().unwrap_or_else(|_| usage("bad --retry-backoff-ms")));
+            }
             "--out" => out = Some(value()),
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag `{other}`")),
@@ -136,10 +158,33 @@ fn main() {
         .collect();
 
     eprintln!("campaign: {} jobs on {} workers", jobs.len(), workers);
-    let report = Campaign::new(jobs)
+    let mut c = Campaign::new(jobs)
         .with_workers(workers)
         .with_minimization(minimize)
-        .run();
+        .with_triage(triage);
+    if let Some(ms) = job_timeout_ms {
+        c = c.with_job_wall_timeout_ms(ms);
+    }
+    if let Some(n) = retries {
+        c = c.with_job_retries(n);
+    }
+    if let Some(ms) = retry_backoff_ms {
+        c = c.with_retry_backoff_ms(ms);
+    }
+    let report = c.run();
+
+    if let Some(dir) = &bundle_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| usage(&format!("create {dir}: {e}")));
+        for j in &report.jobs {
+            let Some(bundle) = &j.triage else { continue };
+            let path = format!("{dir}/job{}.bundle.json", j.index);
+            let json = serde_json::to_string_pretty(bundle).expect("bundles serialize");
+            std::fs::write(&path, json)
+                .unwrap_or_else(|e| usage(&format!("write {path}: {e}")));
+            eprintln!("bundle: {path}");
+        }
+    }
 
     for j in &report.jobs {
         let extra = match (&j.verdict, &j.minimized) {

@@ -1,0 +1,113 @@
+//! Replay CLI: reproduce a triaged failure from its bundle alone.
+//!
+//! ```text
+//! replay --bundle job3.bundle.json        # render + re-execute + verify
+//! replay --bundle job3.bundle.json --show # render only, no re-execution
+//! replay --report report.json [--job N]   # render bundles from a report
+//! ```
+//!
+//! A triage bundle is a self-contained recipe: the workload source, the
+//! configuration, the injected bug, and the commit anchor of the
+//! failure. `--bundle` re-executes that recipe from reset and checks
+//! that the failure reproduces at the *identical commit index* — the
+//! deterministic-replay guarantee the LightSSS → DiffTest debug loop
+//! rests on. Exit status: 0 when the failure reproduces (or `--show` /
+//! `--report` rendering succeeds), 1 when it does not, 2 on usage
+//! errors.
+
+use campaign::{verify_bundle, TriageBundle};
+use serde::Deserialize;
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: replay --bundle FILE [--show]\n\
+         \x20      replay --report FILE [--job N]"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| usage(&format!("read {path}: {e}")))
+}
+
+fn main() {
+    let mut bundle_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
+    let mut job: Option<u64> = None;
+    let mut show_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| usage("missing value for flag"))
+        };
+        match flag.as_str() {
+            "--bundle" => bundle_path = Some(value()),
+            "--report" => report_path = Some(value()),
+            "--job" => job = Some(value().parse().unwrap_or_else(|_| usage("bad --job"))),
+            "--show" => show_only = true,
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    match (bundle_path, report_path) {
+        (Some(path), None) => {
+            let bundle: TriageBundle = serde_json::from_str(&read(&path))
+                .unwrap_or_else(|e| usage(&format!("parse {path}: {e:?}")));
+            print!("{}", bundle.render());
+            if show_only {
+                return;
+            }
+            eprintln!("re-executing from reset ({} cycle budget)...", bundle.max_cycles);
+            match verify_bundle(&bundle) {
+                Err(e) => usage(&e),
+                Ok(v) => {
+                    println!(
+                        "replay: {} — {}",
+                        if v.reproduced { "REPRODUCED" } else { "NOT reproduced" },
+                        v.detail
+                    );
+                    if !v.reproduced {
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        (None, Some(path)) => {
+            let v: serde_json::Value = serde_json::from_str(&read(&path))
+                .unwrap_or_else(|e| usage(&format!("parse {path}: {e:?}")));
+            let Some(jobs) = v.get("jobs").and_then(|j| j.as_array()) else {
+                usage("report has no jobs array");
+            };
+            let mut rendered = 0u64;
+            for j in jobs {
+                let idx = j.get("index").and_then(|i| i.as_u64()).unwrap_or(0);
+                if job.is_some_and(|want| want != idx) {
+                    continue;
+                }
+                let Some(t) = j.get("triage") else { continue };
+                if t.is_null() {
+                    continue;
+                }
+                match TriageBundle::deserialize(t) {
+                    Ok(bundle) => {
+                        print!("{}", bundle.render());
+                        rendered += 1;
+                    }
+                    Err(e) => eprintln!("job {idx}: malformed bundle: {e:?}"),
+                }
+            }
+            if rendered == 0 {
+                eprintln!(
+                    "no triage bundles{} in {path}",
+                    job.map(|n| format!(" for job {n}")).unwrap_or_default()
+                );
+                std::process::exit(1);
+            }
+        }
+        _ => usage("give exactly one of --bundle or --report"),
+    }
+}
