@@ -101,6 +101,9 @@ pub struct JobSpec {
     pub lightsss_interval: Option<u64>,
     /// Enable per-cycle telemetry (occupancy and latency histograms).
     pub telemetry: bool,
+    /// Collect coverage maps (decode, diff-rule, pipeline-event); the
+    /// record's `coverage` field is populated only when set.
+    pub coverage: bool,
     /// Per-attempt wall-clock limit, milliseconds (None defers to the
     /// campaign-level policy). Exhausting every attempt is a
     /// [`WallTimeout`](crate::Verdict::WallTimeout).
@@ -118,6 +121,7 @@ impl JobSpec {
             max_cycles: 40_000_000,
             lightsss_interval: None,
             telemetry: false,
+            coverage: false,
             wall_timeout_ms: None,
         }
     }
@@ -152,6 +156,12 @@ impl JobSpec {
         self
     }
 
+    /// Enable coverage-map collection for this job.
+    pub fn with_coverage(mut self) -> Self {
+        self.coverage = true;
+        self
+    }
+
     /// Set a per-attempt wall-clock limit for this job (overrides the
     /// campaign-level policy).
     pub fn with_wall_timeout_ms(mut self, ms: u64) -> Self {
@@ -170,6 +180,9 @@ impl JobSpec {
         }
         if self.telemetry {
             cfg = cfg.with_telemetry();
+        }
+        if self.coverage {
+            cfg = cfg.with_coverage();
         }
         Some(cfg)
     }

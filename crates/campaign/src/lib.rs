@@ -22,6 +22,11 @@
 //! - [`CampaignReport`] renders to JSON with wall-clock timing
 //!   segregated from the deterministic body, so identical campaigns
 //!   produce byte-identical report bodies.
+//! - [`run_fuzz`] turns the fixed job matrix into a coverage-guided
+//!   fleet: a corpus of torture [`Recipe`]s is evolved by deterministic
+//!   mutation, scheduled by observed coverage novelty (decode,
+//!   diff-rule, and pipeline-event coverage maps), and every divergence
+//!   it finds flows through the same minimize/triage pipeline.
 //!
 //! # Example
 //!
@@ -41,12 +46,16 @@
 //! [`XsConfig`]: xscore::XsConfig
 //! [`DiffError`]: minjie::DiffError
 
+pub mod coverage;
+pub mod fuzz;
 pub mod job;
 pub mod minimize;
 pub mod report;
 pub mod runner;
 pub mod triage;
 
+pub use coverage::{minimize_corpus, CoverageSet, FuzzRound, FuzzSummary};
+pub use fuzz::{fresh_recipe, mutate_recipe, run_fuzz, FuzzOpts, FuzzOutcome, Recipe};
 pub use job::{error_class, JobSpec, WorkloadSource};
 pub use minimize::{minimize, MinimizeOutcome};
 pub use report::{

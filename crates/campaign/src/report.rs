@@ -8,8 +8,9 @@
 //! [`CampaignReport::full_json`] appends the timing section under the
 //! `"timing"` key.
 
+use crate::coverage::FuzzSummary;
 use crate::triage::TriageBundle;
-use minjie::{DiffError, PerfSnapshot};
+use minjie::{CoverageMap, DiffError, PerfSnapshot};
 use serde::{Deserialize, Serialize};
 use serde_json::{Map, Value};
 use workloads::TortureConfig;
@@ -17,7 +18,9 @@ use workloads::TortureConfig;
 /// Report schema version (bump on breaking shape changes).
 /// v2: triage bundles embedded per job, replay windows carry the
 /// reset-fallback flag and commit anchor, wall-clock timeout verdict.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: per-job coverage maps (coverage-gated jobs) and the top-level
+/// `fuzz` section describing a coverage-guided campaign's rounds.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// How one job ended.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -142,6 +145,9 @@ pub struct JobRecord {
     /// Cross-layer performance snapshot (integer counters only, so the
     /// deterministic-body property is preserved).
     pub perf: PerfSnapshot,
+    /// Coverage map (jobs run with `JobSpec::with_coverage` only);
+    /// pure-integer, so the deterministic-body property is preserved.
+    pub coverage: Option<CoverageMap>,
 }
 
 /// Verdict tallies over a whole campaign.
@@ -200,6 +206,9 @@ pub struct CampaignReport {
     pub summary: CampaignSummary,
     /// Per-job records, in job order.
     pub jobs: Vec<JobRecord>,
+    /// Coverage-guided fuzzing summary (fuzz campaigns only) — part of
+    /// the deterministic body.
+    pub fuzz: Option<FuzzSummary>,
     /// Wall-clock measurements (excluded from the deterministic body).
     pub wall_clock: WallClock,
 }
@@ -212,6 +221,9 @@ impl CampaignReport {
         m.insert("workers".into(), to_value(&self.workers));
         m.insert("summary".into(), to_value(&self.summary));
         m.insert("jobs".into(), to_value(&self.jobs));
+        if let Some(fuzz) = &self.fuzz {
+            m.insert("fuzz".into(), to_value(fuzz));
+        }
         Value::Object(m)
     }
 
@@ -251,6 +263,7 @@ mod tests {
             minimized: None,
             triage: None,
             perf: PerfSnapshot::default(),
+            coverage: None,
         }
     }
 
@@ -260,6 +273,7 @@ mod tests {
             workers: 4,
             summary: CampaignSummary::tally(&[record(0, Verdict::Timeout)]),
             jobs: vec![record(0, Verdict::Timeout)],
+            fuzz: None,
             wall_clock: WallClock {
                 total_ms: 123,
                 per_job_ms: vec![123],
@@ -284,6 +298,7 @@ mod tests {
                 0,
                 Verdict::Halted { exit_code: 42 },
             )],
+            fuzz: None,
             wall_clock: WallClock::default(),
         };
         let v: Value = serde_json::from_str(&r.full_json()).expect("valid JSON");

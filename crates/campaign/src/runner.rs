@@ -165,6 +165,7 @@ impl Campaign {
                 workers: self.workers.max(1) as u64,
                 summary: CampaignSummary::tally(&jobs),
                 jobs,
+                fuzz: None,
                 wall_clock: WallClock {
                     total_ms: campaign_start.elapsed().as_millis() as u64,
                     per_job_ms,
@@ -192,6 +193,7 @@ fn base_record(index: usize, spec: &JobSpec) -> JobRecord {
         minimized: None,
         triage: None,
         perf: minjie::PerfSnapshot::default(),
+        coverage: None,
     }
 }
 
@@ -273,6 +275,7 @@ fn execute_job(index: usize, spec: &JobSpec, policy: JobPolicy) -> JobRecord {
             };
             record.rule_counts = stats.rule_counts;
             record.perf = stats.perf;
+            record.coverage = stats.coverage;
             record.verdict = match stats.end {
                 CoSimEnd::Halted(exit_code) => Verdict::Halted { exit_code },
                 CoSimEnd::OutOfCycles => {

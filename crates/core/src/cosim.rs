@@ -114,8 +114,12 @@ impl CoSim {
     /// Boot a program under co-simulation.
     pub fn new(cfg: XsConfig, program: &Program) -> Self {
         let harts = cfg.cores;
+        let coverage = cfg.coverage;
         let sys = XsSystem::new(cfg, program);
-        let diff = DiffTest::for_program(program, harts);
+        let mut diff = DiffTest::for_program(program, harts);
+        if coverage {
+            diff.coverage = Some(crate::coverage::CommitCoverage::default());
+        }
         let state = CoSimState { sys, diff };
         CoSim {
             reset: Box::new(state.clone()),
@@ -285,6 +289,8 @@ pub struct RunStats {
     pub rule_counts: Vec<(String, u64)>,
     /// Unified cross-layer performance snapshot at the end of the run.
     pub perf: crate::telemetry::PerfSnapshot,
+    /// Coverage map of the run (`Some` only under `XsConfig::coverage`).
+    pub coverage: Option<crate::coverage::CoverageMap>,
 }
 
 /// A rollback start point salvaged from a finished run, so a
@@ -356,6 +362,10 @@ pub fn run_isolated_salvaging(
             .map(|(k, &v)| (k.clone(), v))
             .collect();
         rule_counts.sort();
+        let perf = crate::telemetry::PerfSnapshot::collect(&cosim.state.sys);
+        let coverage = cosim.state.diff.coverage.as_ref().map(|commit| {
+            crate::coverage::CoverageMap::from_run(commit, &cosim.state.diff.stats, &perf)
+        });
         (
             RunStats {
                 cycles: cosim.state.time(),
@@ -363,7 +373,8 @@ pub fn run_isolated_salvaging(
                 instret: cosim.state.sys.cores.iter().map(|c| c.instret()).sum(),
                 exceptions: cosim.state.sys.cores.iter().map(|c| c.perf.exceptions).sum(),
                 rule_counts,
-                perf: crate::telemetry::PerfSnapshot::collect(&cosim.state.sys),
+                perf,
+                coverage,
                 end,
             },
             salvage,

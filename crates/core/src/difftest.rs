@@ -7,6 +7,7 @@
 //! single-core REFs by pruning the interleaving space with the Global
 //! Memory rule, exactly as in §III-B2b.
 
+use crate::coverage::CommitCoverage;
 use crate::rules::{compare_csrs, CsrMismatch, CsrRuleTable, DiffRule, RuleStats};
 use nemu::hart::{self, Hart, StepInfo};
 use riscv_isa::exec::load_extend;
@@ -259,6 +260,9 @@ pub struct DiffTest<R: RefModel> {
     pub stats: RuleStats,
     /// Commits verified.
     pub commits_checked: u64,
+    /// Decode-level coverage, accumulated per commit when enabled
+    /// (`XsConfig::coverage`); `None` keeps the default path free.
+    pub coverage: Option<CommitCoverage>,
     forced_guard: HashMap<(usize, u64, &'static str), u32>,
 }
 
@@ -271,6 +275,7 @@ impl<R: RefModel> DiffTest<R> {
             csr_rules: CsrRuleTable::standard(),
             stats: RuleStats::default(),
             commits_checked: 0,
+            coverage: None,
             forced_guard: HashMap::new(),
         }
     }
@@ -293,6 +298,12 @@ impl<R: RefModel> DiffTest<R> {
     /// divergence — i.e. a detected bug.
     pub fn on_commit(&mut self, e: &CommitEvent) -> Result<(), DiffError> {
         self.commits_checked += 1;
+        if let Some(cov) = &mut self.coverage {
+            cov.record(&e.inst);
+            if let Some(second) = &e.fused {
+                cov.record(second);
+            }
+        }
         let hart = e.hart;
 
         // --- Trap events -------------------------------------------------

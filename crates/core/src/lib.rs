@@ -39,6 +39,7 @@
 
 pub mod archdb;
 pub mod cosim;
+pub mod coverage;
 pub mod difftest;
 pub mod lightsss;
 pub mod rules;
@@ -49,6 +50,7 @@ pub use cosim::{
     panic_message, run_isolated, run_isolated_salvaging, BugReport, CoSim, CoSimEnd, CoSimState,
     ReplayReport, RunStats, Salvage,
 };
+pub use coverage::{bucket, CommitCoverage, CoverageMap, FU_CLASS_COUNT, OP_COUNT};
 pub use difftest::{DiffError, DiffTest, GlobalMemory, NemuRef, RefModel};
 pub use lightsss::{LightSss, Snapshot, Snapshotable, Sss};
 pub use rules::{compare_csrs, CsrFieldKind, CsrFieldRule, CsrRuleTable, DiffRule, RuleStats};

@@ -53,6 +53,17 @@ impl Default for TortureConfig {
     }
 }
 
+impl TortureConfig {
+    /// Clamp the numeric knobs into the range the generator (and a
+    /// campaign's cycle budget) can sensibly handle. Fuzz mutators tweak
+    /// `body_len`/`iterations` blindly and rely on this to stay valid.
+    pub fn clamped(mut self) -> Self {
+        self.body_len = self.body_len.clamp(8, 256);
+        self.iterations = self.iterations.clamp(1, 1000);
+        self
+    }
+}
+
 const SANDBOX: i64 = 0x8004_0000;
 /// Registers the generator may clobber (x5..x15 plus x28..x31).
 const WINDOW: [u8; 15] = [5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 28, 29, 30, 31];
@@ -464,6 +475,29 @@ pub fn random_program(seed: u64, cfg: &TortureConfig) -> Program {
 mod tests {
     use super::*;
     use nemu::{DromajoLike, Interpreter, Nemu, SpikeLike};
+
+    #[test]
+    fn clamped_bounds_the_knobs() {
+        let wild = TortureConfig {
+            body_len: 0,
+            iterations: -7,
+            ..TortureConfig::default()
+        }
+        .clamped();
+        assert_eq!(wild.body_len, 8);
+        assert_eq!(wild.iterations, 1);
+        let huge = TortureConfig {
+            body_len: 100_000,
+            iterations: i64::MAX,
+            ..TortureConfig::default()
+        }
+        .clamped();
+        assert_eq!(huge.body_len, 256);
+        assert_eq!(huge.iterations, 1000);
+        // In-range configs pass through untouched.
+        let dflt = TortureConfig::default();
+        assert_eq!(dflt.clamped(), dflt);
+    }
 
     #[test]
     fn deterministic_per_seed() {

@@ -138,6 +138,10 @@ pub struct XsConfig {
     /// always on; this gates the heavier sampling so default runs keep
     /// their wall-clock.
     pub telemetry: bool,
+    /// Enable coverage maps (per-commit opcode counters in DiffTest plus
+    /// end-of-run diff-rule and pipeline-event coverage). One array add
+    /// per commit when on; the default path pays nothing.
+    pub coverage: bool,
 }
 
 impl XsConfig {
@@ -184,6 +188,7 @@ impl XsConfig {
             sbuffer_drain_delay: 20,
             injected_bug: None,
             telemetry: false,
+            coverage: false,
         }
     }
 
@@ -228,6 +233,7 @@ impl XsConfig {
             sbuffer_drain_delay: 20,
             injected_bug: None,
             telemetry: false,
+            coverage: false,
         }
     }
 
@@ -309,6 +315,12 @@ impl XsConfig {
     /// Enable the per-cycle occupancy/latency telemetry histograms.
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
+        self
+    }
+
+    /// Enable coverage-map collection (fuzzing and coverage-pin runs).
+    pub fn with_coverage(mut self) -> Self {
+        self.coverage = true;
         self
     }
 

@@ -11,7 +11,11 @@
 #      counters, and perf_report must render it cleanly,
 #   5. a triage smoke — an injected-bug campaign with LightSSS on must
 #      produce a self-contained replay bundle, and `replay --bundle`
-#      must reproduce the divergence at the identical commit index.
+#      must reproduce the divergence at the identical commit index,
+#   6. a fuzz smoke — two identical coverage-guided campaigns must emit
+#      byte-identical deterministic report bodies with coverage growing
+#      strictly round-over-round, and an injected-bug fuzz campaign must
+#      find, triage, and replay the divergence.
 #
 # The campaign step is what the paper calls the verification flow: any
 # DUT regression that makes a workload diverge, hang, or panic fails
@@ -43,7 +47,7 @@ timeout 600 target/release/campaign \
 python3 - "$report" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 2, r["schema_version"]
+assert r["schema_version"] == 3, r["schema_version"]
 s = r["summary"]
 assert s["total"] == 12 and s["halted"] == 12, s
 assert len(r["jobs"]) == 12
@@ -115,7 +119,7 @@ fi
 bundle_file="$(python3 - "$triage_report" "$bundle_dir" <<'EOF'
 import json, os, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 2, r["schema_version"]
+assert r["schema_version"] == 3, r["schema_version"]
 diverged = [j for j in r["jobs"] if "Diverged" in j["verdict"]]
 assert diverged, "injected bug produced no divergence"
 bundled = [j for j in diverged if j.get("triage")]
@@ -133,5 +137,79 @@ echo "triage smoke bundle: $bundle_file"
 # The bundle alone must reproduce the divergence at the same commit
 # index (replay exits 0 only on REPRODUCED).
 timeout 300 target/release/replay --bundle "$bundle_file"
+
+echo "== tier-1: fuzz smoke (determinism + coverage growth) =="
+fuzz_a="$(mktemp /tmp/fuzz-smoke-a.XXXXXX.json)"
+fuzz_b="$(mktemp /tmp/fuzz-smoke-b.XXXXXX.json)"
+fuzz_bug="$(mktemp /tmp/fuzz-bug.XXXXXX.json)"
+fuzz_bundles="$(mktemp -d /tmp/fuzz-bundles.XXXXXX)"
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$fuzz_a" "$fuzz_b" "$fuzz_bug"; rm -rf "$bundle_dir" "$fuzz_bundles"' EXIT
+# Same seed + same worker count twice: the deterministic body (report
+# minus the "timing" section) must be byte-identical, and every round
+# must contribute new coverage.
+for f in "$fuzz_a" "$fuzz_b"; do
+    timeout 300 target/release/campaign \
+        --fuzz --rounds 2 --fuzz-jobs 8 --fuzz-seed 5 \
+        --configs small-nh \
+        --workers 4 \
+        --out "$f"
+done
+
+python3 - "$fuzz_a" "$fuzz_b" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a["schema_version"] == 3, a["schema_version"]
+for r in (a, b):
+    del r["timing"]
+assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
+    "fuzz report bodies differ between identical runs"
+f = a["fuzz"]
+assert len(f["rounds"]) == 2, f
+for rnd in f["rounds"]:
+    assert rnd["new_features"] > 0, f"round {rnd['round']} found no new coverage: {f}"
+cums = [rnd["cumulative_features"] for rnd in f["rounds"]]
+assert all(x < y for x, y in zip(cums, cums[1:])), f"coverage not strictly growing: {cums}"
+assert f["total_features"] == cums[-1], f
+assert all(j.get("coverage") for j in a["jobs"]), "fuzz jobs missing coverage maps"
+print("fuzz smoke OK: deterministic body, coverage", cums)
+EOF
+
+echo "== tier-1: fuzz smoke (injected bug -> triage -> replay) =="
+set +e
+timeout 300 target/release/campaign \
+    --fuzz --rounds 2 --fuzz-jobs 4 --fuzz-seed 5 \
+    --configs small-nh \
+    --inject-bug mul-low-bit \
+    --lightsss 2000 \
+    --workers 2 \
+    --no-minimize \
+    --bundle-dir "$fuzz_bundles" \
+    --out "$fuzz_bug"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "fuzz bug smoke: expected exit 1 (diverged jobs), got $rc" >&2
+    exit 1
+fi
+
+fuzz_bundle="$(python3 - "$fuzz_bug" "$fuzz_bundles" <<'EOF'
+import json, os, sys
+r = json.load(open(sys.argv[1]))
+diverged = [j for j in r["jobs"] if "Diverged" in j["verdict"]]
+assert diverged, "fuzz campaign missed the injected bug"
+bundled = [j for j in diverged if j.get("triage")]
+assert bundled, "diverged fuzz jobs carry no triage bundle"
+j = bundled[0]
+b = j["triage"]
+assert b["trigger"] == "diverged" and b["reproduced"], b
+assert b["job_index"] == j["index"], "fuzz job re-indexing broke the bundle"
+path = os.path.join(sys.argv[2], f"job{j['index']}.bundle.json")
+assert os.path.exists(path), f"bundle file missing: {path}"
+print(path)
+EOF
+)"
+echo "fuzz bug bundle: $fuzz_bundle"
+timeout 300 target/release/replay --bundle "$fuzz_bundle"
 
 echo "== tier-1 gate passed =="

@@ -5,17 +5,23 @@
 //! campaign [--workloads mcf,lbm] [--configs small-nh,small-yqh]
 //!          [--torture-seeds 0..8] [--workers 4] [--max-cycles 40000000]
 //!          [--lightsss N] [--inject-bug mul-low-bit|addw-no-sext]
-//!          [--telemetry] [--no-minimize] [--no-triage]
+//!          [--telemetry] [--coverage] [--no-minimize] [--no-triage]
 //!          [--bundle-dir DIR] [--job-timeout-ms N] [--retries N]
 //!          [--retry-backoff-ms N] [--out report.json]
+//! campaign --fuzz [--rounds N] [--fuzz-jobs N] [--fuzz-seed N]
+//!          [--corpus-dir DIR] [--configs ...] [the flags above]
 //! ```
 //!
 //! The job list is the cross product of every named workload and every
 //! torture seed with every config, in that order, so reports are
-//! deterministic for a given command line. Exit status: 0 when every
-//! job halts, 1 on any divergence/timeout/panic, 2 on usage errors.
+//! deterministic for a given command line. `--fuzz` replaces the fixed
+//! matrix with a coverage-guided campaign: rounds of torture recipes
+//! scheduled by coverage novelty, with the surviving corpus written to
+//! `--corpus-dir` as one JSON recipe per file. Exit status: 0 when
+//! every job halts, 1 on any divergence/timeout/panic, 2 on usage
+//! errors.
 
-use campaign::{Campaign, JobSpec, Verdict, WorkloadSource};
+use campaign::{run_fuzz, Campaign, FuzzOpts, JobSpec, Verdict, WorkloadSource};
 use workloads::TortureConfig;
 use xscore::{InjectedBug, XsConfig};
 
@@ -24,10 +30,12 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: campaign [--workloads k1,k2] [--configs c1,c2] [--torture-seeds A..B|s1,s2]\n\
          \x20               [--workers N] [--max-cycles N] [--lightsss N]\n\
-         \x20               [--inject-bug mul-low-bit|addw-no-sext] [--telemetry]\n\
+         \x20               [--inject-bug mul-low-bit|addw-no-sext] [--telemetry] [--coverage]\n\
          \x20               [--no-minimize] [--no-triage] [--bundle-dir DIR]\n\
          \x20               [--job-timeout-ms N] [--retries N] [--retry-backoff-ms N]\n\
          \x20               [--out FILE]\n\
+         \x20      campaign --fuzz [--rounds N] [--fuzz-jobs N] [--fuzz-seed N]\n\
+         \x20               [--corpus-dir DIR] [--configs c1,c2] [shared flags above]\n\
          kernels: {}\n\
          configs: {}",
         workloads::NAMES.join(", "),
@@ -54,8 +62,14 @@ fn main() {
     let mut configs: Vec<String> = vec!["small-nh".into()];
     let mut seeds: Vec<u64> = Vec::new();
     let mut workers = 4usize;
-    let mut max_cycles = 40_000_000u64;
+    let mut max_cycles: Option<u64> = None;
     let mut lightsss: Option<u64> = None;
+    let mut fuzz = false;
+    let mut rounds = 2u64;
+    let mut fuzz_jobs = 8usize;
+    let mut fuzz_seed = 0u64;
+    let mut corpus_dir: Option<String> = None;
+    let mut coverage = false;
     let mut inject: Option<InjectedBug> = None;
     let mut minimize = true;
     let mut triage = true;
@@ -84,8 +98,21 @@ fn main() {
                 workers = value().parse().unwrap_or_else(|_| usage("bad --workers"));
             }
             "--max-cycles" => {
-                max_cycles = value().parse().unwrap_or_else(|_| usage("bad --max-cycles"));
+                max_cycles =
+                    Some(value().parse().unwrap_or_else(|_| usage("bad --max-cycles")));
             }
+            "--fuzz" => fuzz = true,
+            "--rounds" => {
+                rounds = value().parse().unwrap_or_else(|_| usage("bad --rounds"));
+            }
+            "--fuzz-jobs" => {
+                fuzz_jobs = value().parse().unwrap_or_else(|_| usage("bad --fuzz-jobs"));
+            }
+            "--fuzz-seed" => {
+                fuzz_seed = value().parse().unwrap_or_else(|_| usage("bad --fuzz-seed"));
+            }
+            "--corpus-dir" => corpus_dir = Some(value()),
+            "--coverage" => coverage = true,
             "--lightsss" => {
                 lightsss = Some(value().parse().unwrap_or_else(|_| usage("bad --lightsss")));
             }
@@ -126,52 +153,99 @@ fn main() {
             usage(&format!("unknown workload `{k}`"));
         }
     }
-    if kernels.is_empty() && seeds.is_empty() {
-        usage("nothing to run: give --workloads and/or --torture-seeds");
-    }
-
-    let torture_cfg = TortureConfig::default();
-    let mut jobs = Vec::new();
-    for config in &configs {
-        for k in &kernels {
-            jobs.push((WorkloadSource::kernel(k.clone()), config.clone()));
+    let report = if fuzz {
+        if !kernels.is_empty() || !seeds.is_empty() {
+            usage("--fuzz evolves its own recipes: drop --workloads/--torture-seeds");
         }
-        for &seed in &seeds {
-            jobs.push((WorkloadSource::torture(seed, torture_cfg), config.clone()));
+        let opts = FuzzOpts {
+            rounds,
+            jobs_per_round: fuzz_jobs,
+            fuzz_seed,
+            configs: configs.clone(),
+            workers,
+            // Fuzz jobs are deliberately short: breadth over depth.
+            max_cycles: max_cycles.unwrap_or(6_000_000),
+            lightsss_interval: lightsss,
+            injected_bug: inject,
+            minimize,
+            triage,
+        };
+        eprintln!(
+            "fuzz campaign: {} rounds x {} jobs on {} workers (seed {})",
+            opts.rounds, opts.jobs_per_round, opts.workers, opts.fuzz_seed
+        );
+        let outcome = run_fuzz(&opts);
+        if let Some(f) = &outcome.report.fuzz {
+            for r in &f.rounds {
+                eprintln!(
+                    "  round {:>2}: {} jobs, +{} features ({} cumulative, corpus {})",
+                    r.round, r.jobs, r.new_features, r.cumulative_features, r.corpus_size
+                );
+            }
         }
-    }
-    let jobs: Vec<JobSpec> = jobs
-        .into_iter()
-        .map(|(source, config)| {
-            let mut spec = JobSpec::new(source, config).with_max_cycles(max_cycles);
-            if let Some(interval) = lightsss {
-                spec = spec.with_lightsss(interval);
+        if let Some(dir) = &corpus_dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| usage(&format!("create {dir}: {e}")));
+            for (i, recipe) in outcome.corpus.iter().enumerate() {
+                let path = format!("{dir}/recipe{i:04}.json");
+                let json = serde_json::to_string_pretty(recipe).expect("recipes serialize");
+                std::fs::write(&path, json)
+                    .unwrap_or_else(|e| usage(&format!("write {path}: {e}")));
             }
-            if let Some(bug) = inject {
-                spec = spec.with_injected_bug(bug);
+            eprintln!("corpus: {} recipes in {dir}", outcome.corpus.len());
+        }
+        outcome.report
+    } else {
+        if kernels.is_empty() && seeds.is_empty() {
+            usage("nothing to run: give --workloads and/or --torture-seeds (or --fuzz)");
+        }
+        let torture_cfg = TortureConfig::default();
+        let mut jobs = Vec::new();
+        for config in &configs {
+            for k in &kernels {
+                jobs.push((WorkloadSource::kernel(k.clone()), config.clone()));
             }
-            if telemetry {
-                spec = spec.with_telemetry();
+            for &seed in &seeds {
+                jobs.push((WorkloadSource::torture(seed, torture_cfg), config.clone()));
             }
-            spec
-        })
-        .collect();
+        }
+        let jobs: Vec<JobSpec> = jobs
+            .into_iter()
+            .map(|(source, config)| {
+                let mut spec = JobSpec::new(source, config)
+                    .with_max_cycles(max_cycles.unwrap_or(40_000_000));
+                if let Some(interval) = lightsss {
+                    spec = spec.with_lightsss(interval);
+                }
+                if let Some(bug) = inject {
+                    spec = spec.with_injected_bug(bug);
+                }
+                if telemetry {
+                    spec = spec.with_telemetry();
+                }
+                if coverage {
+                    spec = spec.with_coverage();
+                }
+                spec
+            })
+            .collect();
 
-    eprintln!("campaign: {} jobs on {} workers", jobs.len(), workers);
-    let mut c = Campaign::new(jobs)
-        .with_workers(workers)
-        .with_minimization(minimize)
-        .with_triage(triage);
-    if let Some(ms) = job_timeout_ms {
-        c = c.with_job_wall_timeout_ms(ms);
-    }
-    if let Some(n) = retries {
-        c = c.with_job_retries(n);
-    }
-    if let Some(ms) = retry_backoff_ms {
-        c = c.with_retry_backoff_ms(ms);
-    }
-    let report = c.run();
+        eprintln!("campaign: {} jobs on {} workers", jobs.len(), workers);
+        let mut c = Campaign::new(jobs)
+            .with_workers(workers)
+            .with_minimization(minimize)
+            .with_triage(triage);
+        if let Some(ms) = job_timeout_ms {
+            c = c.with_job_wall_timeout_ms(ms);
+        }
+        if let Some(n) = retries {
+            c = c.with_job_retries(n);
+        }
+        if let Some(ms) = retry_backoff_ms {
+            c = c.with_retry_backoff_ms(ms);
+        }
+        c.run()
+    };
 
     if let Some(dir) = &bundle_dir {
         std::fs::create_dir_all(dir)

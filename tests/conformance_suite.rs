@@ -1,0 +1,580 @@
+//! Cross-interpreter conformance tier.
+//!
+//! Every block below runs one hand-written per-extension program through
+//! all four interpreter personalities — [`Nemu`] (the fast block-chaining
+//! reference), [`SpikeLike`] (decode cache + SoftFloat), [`DromajoLike`]
+//! (plain decode-and-execute), and [`QemuTciLike`] (bytecode dispatch) —
+//! and asserts identical architectural state afterwards: exit code, PC,
+//! all 32 GPRs, all 32 FPRs, and the retired-instruction count.
+//!
+//! This is where fast-path specialization bugs show up: `li`/`mv`/`ret`/
+//! `auipc` shortcuts, discarded x0 writes, and block chaining only exist
+//! in the fast interpreter, so any divergence from the three baselines
+//! pins the bug to that specialization. A second, pure tier cross-checks
+//! the interpreters against `riscv_isa::exec` directly: for an op and
+//! operand matrix, the architectural exit code must equal what
+//! [`int_compute`] / [`branch_taken`] / [`amo_compute`] say in isolation.
+
+use nemu::{DromajoLike, Interpreter, Nemu, QemuTciLike, SpikeLike};
+use riscv_isa::asm::{reg::*, Asm, Program};
+use riscv_isa::exec::{amo_compute, branch_taken, int_compute};
+use riscv_isa::Op;
+
+const FUEL: u64 = 2_000_000;
+const BASE: u64 = 0x8000_0000;
+
+/// Run `p` on all four interpreters; assert they halt with identical
+/// architectural state and return the common exit code.
+fn conform(p: &Program) -> u64 {
+    let mut n = Nemu::new(p);
+    let mut s = SpikeLike::new(p);
+    let mut d = DromajoLike::new(p);
+    let mut q = QemuTciLike::new(p);
+    let rn = n.run(FUEL);
+    assert!(rn.exit_code.is_some(), "program did not halt under Nemu");
+    for (name, r, hart) in [
+        ("spike", s.run(FUEL), s.hart()),
+        ("dromajo", d.run(FUEL), d.hart()),
+        ("qemu-tci", q.run(FUEL), q.hart()),
+    ] {
+        assert_eq!(rn.exit_code, r.exit_code, "{name}: exit code");
+        assert_eq!(rn.instructions, r.instructions, "{name}: instret");
+        assert_eq!(n.hart().state.pc, hart.state.pc, "{name}: pc");
+        assert_eq!(n.hart().state.gpr, hart.state.gpr, "{name}: gpr file");
+        assert_eq!(n.hart().state.fpr, hart.state.fpr, "{name}: fpr file");
+    }
+    rn.exit_code.unwrap()
+}
+
+/// Interesting 64-bit operand values for the exec cross-check matrix.
+const OPERANDS: [u64; 8] = [
+    0,
+    1,
+    u64::MAX,                  // -1
+    i64::MIN as u64,           // signed-overflow edge for div/rem
+    0x8000_0000,               // W-op sign boundary
+    0x0123_4567_89ab_cdef,     // byte-distinct pattern
+    0xffff_ffff_0000_0001,     // upper-half set
+    63,                        // full shift amount
+];
+
+// ---------------------------------------------------------------------
+// RV64I
+// ---------------------------------------------------------------------
+
+#[test]
+fn rv64i_alu_register_register() {
+    let mut a = Asm::new(BASE);
+    a.li(T0, 0x0123_4567_89ab_cdefu64 as i64);
+    a.li(T1, -7);
+    a.add(T2, T0, T1);
+    a.sub(T3, T0, T1);
+    a.sll(T4, T0, T1); // shift amount masked to 63
+    a.srl(T5, T0, T1);
+    a.sra(T6, T0, T1);
+    a.slt(S0, T1, T0);
+    a.sltu(S1, T1, T0);
+    a.xor(S2, T0, T1);
+    a.or(S3, T0, T1);
+    a.and(S4, T0, T1);
+    a.addw(S5, T0, T1);
+    a.subw(S6, T0, T1);
+    a.sllw(S7, T0, T1);
+    a.srlw(S8, T0, T1);
+    a.sraw(S9, T0, T1);
+    // Fold everything into one checksum so a single wrong lane flips it.
+    a.mv(A0, T2);
+    for r in [T3, T4, T5, T6, S0, S1, S2, S3, S4, S5, S6, S7, S8, S9] {
+        a.add(A0, A0, r);
+    }
+    a.ebreak();
+    conform(&a.assemble());
+}
+
+#[test]
+fn rv64i_alu_immediates() {
+    let mut a = Asm::new(BASE);
+    a.li(T0, 0xdead_beef_cafe_f00du64 as i64);
+    a.addi(T1, T0, -2048);
+    a.slti(T2, T0, 2047);
+    a.sltiu(T3, T0, 2047);
+    a.xori(T4, T0, -1); // pseudo `not`
+    a.ori(S0, T0, 0x555);
+    a.andi(S1, T0, 0x555);
+    a.slli(S2, T0, 13);
+    a.srli(S3, T0, 13);
+    a.srai(S4, T0, 13);
+    a.addiw(S5, T0, 100);
+    a.slliw(S6, T0, 5);
+    a.srliw(S7, T0, 5);
+    a.sraiw(S8, T0, 5);
+    a.mv(A0, T1);
+    for r in [T2, T3, T4, S0, S1, S2, S3, S4, S5, S6, S7, S8] {
+        a.add(A0, A0, r);
+    }
+    a.ebreak();
+    conform(&a.assemble());
+}
+
+#[test]
+fn rv64i_loads_and_stores_all_widths() {
+    let mut a = Asm::new(BASE);
+    let data = a.label();
+    a.la(S0, data);
+    a.li(T0, 0x8182_8384_8586_8788u64 as i64); // every byte has bit 7 set
+    a.sd(T0, 0, S0);
+    a.sw(T0, 8, S0);
+    a.sh(T0, 12, S0);
+    a.sb(T0, 14, S0);
+    // Reload through every width; signed widths must sign-extend.
+    a.ld(T1, 0, S0);
+    a.lw(T2, 0, S0);
+    a.lwu(T3, 0, S0);
+    a.lh(T4, 0, S0);
+    a.lhu(T5, 0, S0);
+    a.lb(T6, 0, S0);
+    a.lbu(S1, 0, S0);
+    a.lw(S2, 8, S0);
+    a.lhu(S3, 12, S0);
+    a.lbu(S4, 14, S0);
+    a.mv(A0, T1);
+    for r in [T2, T3, T4, T5, T6, S1, S2, S3, S4] {
+        a.add(A0, A0, r);
+    }
+    a.ebreak();
+    a.align(3);
+    a.bind(data);
+    a.zeros(32);
+    conform(&a.assemble());
+}
+
+#[test]
+fn rv64i_branches_jumps_lui_auipc() {
+    let mut a = Asm::new(BASE);
+    a.li(A0, 0);
+    a.li(T0, -5);
+    a.li(T1, 5);
+    // Each taken/not-taken edge adds a distinct weight to A0.
+    let l1 = a.label();
+    a.blt(T0, T1, l1);
+    a.addi(A0, A0, 1000); // skipped
+    a.bind(l1);
+    a.addi(A0, A0, 1);
+    let l2 = a.label();
+    a.bltu(T0, T1, l2); // NOT taken: -5 is huge unsigned
+    a.addi(A0, A0, 2);
+    a.bind(l2);
+    let l3 = a.label();
+    a.bge(T1, T0, l3);
+    a.addi(A0, A0, 1000); // skipped
+    a.bind(l3);
+    let l4 = a.label();
+    a.bgeu(T1, T0, l4); // NOT taken
+    a.addi(A0, A0, 4);
+    a.bind(l4);
+    let l5 = a.label();
+    a.beq(T0, T0, l5);
+    a.addi(A0, A0, 1000); // skipped
+    a.bind(l5);
+    let l6 = a.label();
+    a.bne(T0, T0, l6); // NOT taken
+    a.addi(A0, A0, 8);
+    a.bind(l6);
+    // lui/auipc: both PC-relative and absolute upper-immediate forms.
+    a.lui(T2, 0x12345 << 12);
+    a.srli(T2, T2, 12);
+    a.add(A0, A0, T2);
+    a.auipc(T3, 0);
+    a.auipc(T4, 0);
+    a.sub(T4, T4, T3); // distance between the two auipcs = 4
+    a.add(A0, A0, T4);
+    // jal/jalr round trip.
+    let fun = a.label();
+    let done = a.label();
+    a.call(fun);
+    a.j(done);
+    a.bind(fun);
+    a.addi(A0, A0, 16);
+    a.ret();
+    a.bind(done);
+    a.ebreak();
+    assert_eq!(conform(&a.assemble()), 1 + 2 + 4 + 8 + 0x12345 + 4 + 16);
+}
+
+// ---------------------------------------------------------------------
+// RV64M — including division edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn rv64m_muldiv_edges() {
+    let mut a = Asm::new(BASE);
+    a.li(T0, i64::MIN);
+    a.li(T1, -1);
+    a.li(T2, 0);
+    // Signed-overflow and divide-by-zero cases are fully defined in
+    // RISC-V; all engines must produce the same architected values.
+    a.div(T3, T0, T1); // MIN / -1 = MIN
+    a.rem(T4, T0, T1); // MIN % -1 = 0
+    a.div(T5, T0, T2); // x / 0 = -1
+    a.rem(T6, T0, T2); // x % 0 = x
+    a.divu(S0, T0, T2); // = u64::MAX
+    a.remu(S1, T0, T2); // = x
+    a.divw(S2, T0, T1); // i32 path sees 0 / -1
+    a.remw(S3, T0, T2);
+    a.divuw(S4, T0, T2);
+    a.remuw(S5, T0, T2);
+    a.mulh(S6, T0, T1);
+    a.mulhu(S7, T0, T1);
+    a.mulhsu(S8, T0, T1);
+    a.mul(S9, T0, T0);
+    a.mulw(S10, T0, T1);
+    a.mv(A0, T3);
+    for r in [T4, T5, T6, S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10] {
+        a.add(A0, A0, r);
+    }
+    a.ebreak();
+    conform(&a.assemble());
+}
+
+// ---------------------------------------------------------------------
+// RV64A — LR/SC and AMOs
+// ---------------------------------------------------------------------
+
+#[test]
+fn rv64a_lrsc_and_amos() {
+    let mut a = Asm::new(BASE);
+    let cell = a.label();
+    a.la(S0, cell);
+    a.li(T0, 41);
+    a.sd(T0, 0, S0);
+    // LR/SC increment loop: retry until the SC succeeds.
+    let retry = a.bound_label();
+    a.lr_d(T1, S0);
+    a.addi(T1, T1, 1);
+    a.sc_d(T2, T1, S0);
+    a.bnez(T2, retry);
+    // AMOs over the same cell; rd gets the old value each time.
+    a.li(T3, 100);
+    a.amoadd_d(T4, T3, S0); // old=42, cell=142
+    a.li(T3, -1);
+    a.amoadd_w(T5, T3, S0); // W-width wrap, old=142 sext
+    a.li(T3, 7);
+    a.amoswap_w(T6, T3, S0); // old=141 sext, cell low word = 7
+    a.ld(S1, 0, S0);
+    a.add(A0, T4, T5);
+    a.add(A0, A0, T6);
+    a.add(A0, A0, S1);
+    a.ebreak();
+    a.align(3);
+    a.bind(cell);
+    a.zeros(8);
+    // Cross-check the AMO chain against the pure semantics: rd receives
+    // the OLD value, amo_compute yields the NEW memory word.
+    let splice = |cell: u64, word: u64| (cell & !0xffff_ffff) | (word & 0xffff_ffff);
+    let t4 = 42u64; // old value seen by amoadd_d
+    let cell1 = amo_compute(Op::AmoaddD, t4, 100);
+    let t5 = riscv_isa::exec::load_extend(Op::Lw, cell1); // old word seen by amoadd_w
+    let cell2 = splice(cell1, amo_compute(Op::AmoaddW, cell1, u64::MAX));
+    let t6 = riscv_isa::exec::load_extend(Op::Lw, cell2); // old word seen by amoswap_w
+    let cell3 = splice(cell2, amo_compute(Op::AmoswapW, cell2, 7));
+    let expect = t4
+        .wrapping_add(t5)
+        .wrapping_add(t6)
+        .wrapping_add(cell3);
+    assert_eq!(conform(&a.assemble()), expect);
+}
+
+// ---------------------------------------------------------------------
+// RV64F/D — SoftFloat vs host-float paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn rv64fd_arithmetic_agrees() {
+    let mut a = Asm::new(BASE);
+    a.li(T0, 3);
+    a.fcvt_d_l(FT0, T0); // 3.0
+    a.li(T0, 4);
+    a.fcvt_d_l(FT1, T0); // 4.0
+    a.fmul_d(FT2, FT0, FT0); // 9.0
+    a.fmadd_d(FT2, FT1, FT1, FT2); // 9 + 16 = 25.0
+    a.fsqrt_d(FT3, FT2); // 5.0
+    a.fdiv_d(FT4, FT2, FT3); // 5.0
+    a.fsub_d(FT5, FT4, FT3); // 0.0
+    a.fadd_d(FT6, FT3, FT4); // 10.0
+    a.fmin_d(FT7, FT3, FT6);
+    a.fmax_d(FA0, FT3, FT6);
+    a.feq_d(T1, FT3, FT4); // 1
+    a.flt_d(T2, FT3, FT6); // 1
+    a.fle_d(T3, FT6, FT3); // 0
+    a.fcvt_l_d(T4, FA0); // 10
+    a.fmv_x_d(T5, FT5); // bits of 0.0 = 0
+    a.add(A0, T1, T2);
+    a.add(A0, A0, T3);
+    a.add(A0, A0, T4);
+    a.add(A0, A0, T5);
+    a.ebreak();
+    assert_eq!(conform(&a.assemble()), 1 + 1 + 0 + 10 + 0);
+}
+
+// ---------------------------------------------------------------------
+// Zba / Zbb
+// ---------------------------------------------------------------------
+
+#[test]
+fn zba_zbb_bitmanip() {
+    let mut a = Asm::new(BASE);
+    a.li(T0, 0xf0f0_f0f0_1234_5678u64 as i64);
+    a.li(T1, 0x1111);
+    a.sh1add(T2, T0, T1);
+    a.sh2add(T3, T0, T1);
+    a.sh3add(T4, T0, T1);
+    a.add_uw(T5, T0, T1);
+    a.slli_uw(T6, T0, 4);
+    a.andn(S0, T0, T1);
+    a.orn(S1, T0, T1);
+    a.xnor(S2, T0, T1);
+    a.max(S3, T0, T1);
+    a.min(S4, T0, T1);
+    a.maxu(S5, T0, T1);
+    a.minu(S6, T0, T1);
+    a.rol(S7, T0, T1);
+    a.ror(S8, T0, T1);
+    a.rori(S9, T0, 17);
+    a.clz(S10, T1);
+    a.ctz(S11, T0);
+    a.cpop(A1, T0);
+    a.sext_b(A2, T0);
+    a.sext_h(A3, T0);
+    a.zext_h(A4, T0);
+    a.orc_b(A5, T0);
+    a.rev8(A6, T0);
+    a.mv(A0, T2);
+    for r in [
+        T3, T4, T5, T6, S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11, A1, A2, A3, A4, A5, A6,
+    ] {
+        a.add(A0, A0, r);
+    }
+    a.ebreak();
+    conform(&a.assemble());
+}
+
+// ---------------------------------------------------------------------
+// RVC — compressed/uncompressed interleave
+// ---------------------------------------------------------------------
+
+#[test]
+fn rvc_mixed_width_stream() {
+    let mut a = Asm::new(BASE);
+    a.c_li(T0, 31);
+    a.c_addi(T0, -3); // 28
+    a.c_nop();
+    a.li(T1, 1000); // 32-bit sequence at a 2-byte-shifted offset
+    a.c_mv(T2, T1);
+    a.c_nop();
+    a.add(A0, T0, T2); // 1028
+    a.c_addi(A0, 4); // 1032
+    a.ebreak();
+    assert_eq!(conform(&a.assemble()), 1032);
+}
+
+// ---------------------------------------------------------------------
+// Fast-path specializations: li/mv/ret/auipc shortcuts, x0 writes,
+// block chaining
+// ---------------------------------------------------------------------
+
+#[test]
+fn fastpath_li_constant_materialization() {
+    // li expands differently per constant class (addi, lui+addiw,
+    // recursive shift+add); each class exercises a distinct fast path.
+    let consts: [i64; 8] = [
+        0,
+        2047,
+        -2048,
+        0x7fff_f000,
+        i32::MIN as i64,
+        0x0123_4567_89ab_cdef,
+        i64::MIN,
+        -1,
+    ];
+    let mut a = Asm::new(BASE);
+    a.li(A0, 0);
+    for (i, &c) in consts.iter().enumerate() {
+        a.li(T0, c);
+        // Mix position in so reordering bugs change the checksum.
+        a.li(T1, i as i64 + 1);
+        a.mul(T0, T0, T1);
+        a.add(A0, A0, T0);
+    }
+    a.ebreak();
+    let expect = consts
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &c)| {
+            acc.wrapping_add((c as u64).wrapping_mul(i as u64 + 1))
+        });
+    assert_eq!(conform(&a.assemble()), expect);
+}
+
+#[test]
+fn fastpath_writes_to_x0_are_discarded() {
+    let mut a = Asm::new(BASE);
+    a.li(ZERO, 12345); // architectural nop
+    a.addi(ZERO, ZERO, 77);
+    a.add(ZERO, ZERO, ZERO);
+    a.lui(ZERO, 0x7000_0000);
+    let data = a.label();
+    a.la(T0, data);
+    a.ld(ZERO, 0, T0); // load to x0: access happens, write discarded
+    a.auipc(ZERO, 0);
+    a.mv(A0, ZERO); // must read 0
+    a.addi(A0, A0, 9);
+    a.ebreak();
+    a.align(3);
+    a.bind(data);
+    a.data_u64(0xffff_ffff_ffff_ffff);
+    assert_eq!(conform(&a.assemble()), 9);
+}
+
+#[test]
+fn fastpath_block_chaining_tight_loops() {
+    // Nested loops with shared blocks: the fast interpreter chains
+    // translated blocks, so a stale-chain bug double-counts or skips.
+    let mut a = Asm::new(BASE);
+    a.li(A0, 0);
+    a.li(T0, 0); // outer counter
+    let outer = a.bound_label();
+    a.li(T1, 0); // inner counter
+    let inner = a.bound_label();
+    a.add(A0, A0, T1);
+    a.addi(T1, T1, 1);
+    a.li(T2, 7);
+    a.bltu(T1, T2, inner);
+    a.addi(T0, T0, 1);
+    a.li(T2, 11);
+    a.bltu(T0, T2, outer);
+    a.ebreak();
+    assert_eq!(conform(&a.assemble()), 11 * (0..7u64).sum::<u64>());
+}
+
+#[test]
+fn fastpath_ret_and_call_specialization() {
+    // Alternating call/ret through two functions: exercises the
+    // jalr-as-ret shortcut and return-address tracking.
+    let mut a = Asm::new(BASE);
+    let f1 = a.label();
+    let f2 = a.label();
+    let done = a.label();
+    a.li(A0, 0);
+    a.li(S0, 0);
+    let loop_top = a.bound_label();
+    a.call(f1);
+    a.call(f2);
+    a.addi(S0, S0, 1);
+    a.li(T0, 5);
+    a.bltu(S0, T0, loop_top);
+    a.j(done);
+    a.bind(f1);
+    a.addi(A0, A0, 3);
+    a.ret();
+    a.bind(f2);
+    a.addi(A0, A0, 4);
+    a.ret();
+    a.bind(done);
+    a.ebreak();
+    assert_eq!(conform(&a.assemble()), 5 * 7);
+}
+
+// ---------------------------------------------------------------------
+// Pure tier: interpreters vs riscv_isa::exec in isolation
+// ---------------------------------------------------------------------
+
+#[test]
+fn exec_int_compute_matrix() {
+    type Emit = fn(&mut Asm, u8, u8, u8);
+    let ops: [(Op, Emit); 28] = [
+        (Op::Add, Asm::add),
+        (Op::Sub, Asm::sub),
+        (Op::Sll, Asm::sll),
+        (Op::Slt, Asm::slt),
+        (Op::Sltu, Asm::sltu),
+        (Op::Xor, Asm::xor),
+        (Op::Srl, Asm::srl),
+        (Op::Sra, Asm::sra),
+        (Op::Or, Asm::or),
+        (Op::And, Asm::and),
+        (Op::Addw, Asm::addw),
+        (Op::Subw, Asm::subw),
+        (Op::Sllw, Asm::sllw),
+        (Op::Mul, Asm::mul),
+        (Op::Mulh, Asm::mulh),
+        (Op::Mulhu, Asm::mulhu),
+        (Op::Mulhsu, Asm::mulhsu),
+        (Op::Div, Asm::div),
+        (Op::Divu, Asm::divu),
+        (Op::Rem, Asm::rem),
+        (Op::Remu, Asm::remu),
+        (Op::Divw, Asm::divw),
+        (Op::Remw, Asm::remw),
+        (Op::Sh3add, Asm::sh3add),
+        (Op::AddUw, Asm::add_uw),
+        (Op::Andn, Asm::andn),
+        (Op::Maxu, Asm::maxu),
+        (Op::Ror, Asm::ror),
+    ];
+    // One program per op covering the whole operand matrix keeps the
+    // test fast (4 engines x 28 programs, not x 28 x 64).
+    for (op, emit) in ops {
+        let mut a = Asm::new(BASE);
+        let mut expect = 0u64;
+        a.li(A0, 0);
+        for &x in &OPERANDS {
+            for &y in &OPERANDS {
+                a.li(A1, x as i64);
+                a.li(A2, y as i64);
+                emit(&mut a, A3, A1, A2);
+                a.add(A0, A0, A3);
+                expect = expect.wrapping_add(
+                    int_compute(op, x, y).unwrap_or_else(|| panic!("{op:?} not pure")),
+                );
+            }
+        }
+        a.ebreak();
+        assert_eq!(conform(&a.assemble()), expect, "{op:?} matrix");
+    }
+}
+
+#[test]
+fn exec_branch_taken_matrix() {
+    type EmitB = fn(&mut Asm, u8, u8, riscv_isa::asm::Label);
+    let branches: [(Op, EmitB); 6] = [
+        (Op::Beq, Asm::beq),
+        (Op::Bne, Asm::bne),
+        (Op::Blt, Asm::blt),
+        (Op::Bge, Asm::bge),
+        (Op::Bltu, Asm::bltu),
+        (Op::Bgeu, Asm::bgeu),
+    ];
+    for (op, emit) in branches {
+        let mut a = Asm::new(BASE);
+        let mut expect = 0u64;
+        a.li(A0, 0);
+        for &x in &OPERANDS {
+            for &y in &OPERANDS {
+                a.li(A1, x as i64);
+                a.li(A2, y as i64);
+                let taken = a.label();
+                let join = a.label();
+                emit(&mut a, A1, A2, taken);
+                a.j(join);
+                a.bind(taken);
+                a.addi(A0, A0, 1);
+                a.bind(join);
+                if branch_taken(op, x, y) {
+                    expect += 1;
+                }
+            }
+        }
+        a.ebreak();
+        assert_eq!(conform(&a.assemble()), expect, "{op:?} matrix");
+    }
+}
