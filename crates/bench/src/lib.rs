@@ -1,8 +1,13 @@
 //! Benchmark harnesses for the MINJIE/XiangShan reproduction.
 //!
 //! This crate exists for its `benches/` directory: one harness per paper
-//! table or figure (see README.md and EXPERIMENTS.md). The library itself
-//! only hosts shared helpers.
+//! table or figure (see README.md and EXPERIMENTS.md). The library hosts
+//! shared helpers plus the [`fig8`] module: the measurement and
+//! `BENCH_fig8.json` report machinery for the interpreter-speed shootout,
+//! kept in the library so the bench binary, the CI bench-smoke leg, and
+//! `tests/golden_bench.rs` all share one schema definition.
+
+pub mod fig8;
 
 /// Geometric mean of a non-empty slice.
 ///

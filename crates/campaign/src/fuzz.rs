@@ -67,6 +67,9 @@ pub struct FuzzOpts {
     pub minimize: bool,
     /// Triage failed jobs into self-contained replay bundles.
     pub triage: bool,
+    /// DiffTest REF personality for every job (None keeps the default
+    /// architectural stepper).
+    pub ref_model: Option<String>,
 }
 
 impl FuzzOpts {
@@ -84,6 +87,7 @@ impl FuzzOpts {
             injected_bug: None,
             minimize: true,
             triage: true,
+            ref_model: None,
         }
     }
 }
@@ -225,6 +229,9 @@ fn job_spec(r: &Recipe, opts: &FuzzOpts) -> JobSpec {
     }
     if let Some(bug) = opts.injected_bug {
         spec = spec.with_injected_bug(bug);
+    }
+    if let Some(r) = &opts.ref_model {
+        spec = spec.with_ref(r.clone());
     }
     spec
 }

@@ -23,7 +23,7 @@ use workloads::TortureConfig;
 use xscore::{CpiStack, InjectedBug};
 
 /// Bundle schema version (independent of the report schema).
-pub const BUNDLE_SCHEMA_VERSION: u64 = 1;
+pub const BUNDLE_SCHEMA_VERSION: u64 = 2;
 
 /// Commit-trace rows retained in the bundle (the tail closest to the
 /// failure point).
@@ -153,6 +153,9 @@ pub struct TriageBundle {
     pub max_cycles: u64,
     /// LightSSS snapshot interval.
     pub lightsss_interval: Option<u64>,
+    /// DiffTest REF personality (None = default architectural stepper).
+    /// Recorded so a replay re-verifies against the same REF tier.
+    pub ref_model: Option<String>,
     /// What ended the job: `"diverged"`, `"timeout"`, or `"panicked"`.
     pub trigger: String,
     /// Cycle of the snapshot the replay rolled back to (0 for the
@@ -270,6 +273,7 @@ fn base_bundle(job_index: u64, spec: &JobSpec, trigger: &str) -> TriageBundle {
         telemetry: spec.telemetry,
         max_cycles: spec.max_cycles,
         lightsss_interval: spec.lightsss_interval,
+        ref_model: spec.ref_model.clone(),
         trigger: trigger.to_string(),
         snapshot_cycle: 0,
         fallback_reset: true,
@@ -424,6 +428,9 @@ pub fn bundle_spec(b: &TriageBundle) -> JobSpec {
     }
     if b.telemetry {
         spec = spec.with_telemetry();
+    }
+    if let Some(r) = &b.ref_model {
+        spec = spec.with_ref(r.clone());
     }
     spec
 }

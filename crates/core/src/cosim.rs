@@ -7,7 +7,7 @@
 //! replay with debugging information enabled.
 
 use crate::archdb::ArchDb;
-use crate::difftest::{DiffError, DiffTest, NemuRef};
+use crate::difftest::{AnyRef, DiffError, DiffTest, ARCH_REF_NAME};
 use crate::lightsss::{LightSss, Snapshotable};
 use riscv_isa::asm::Program;
 use xscore::{XsConfig, XsSystem};
@@ -19,7 +19,7 @@ pub struct CoSimState {
     /// The device under test.
     pub sys: XsSystem,
     /// The DiffTest engine (REF harts + global memory + rule stats).
-    pub diff: DiffTest<NemuRef>,
+    pub diff: DiffTest<AnyRef>,
 }
 
 impl Snapshotable for CoSimState {
@@ -115,8 +115,12 @@ impl CoSim {
     pub fn new(cfg: XsConfig, program: &Program) -> Self {
         let harts = cfg.cores;
         let coverage = cfg.coverage;
+        let ref_model = cfg
+            .ref_model
+            .clone()
+            .unwrap_or_else(|| ARCH_REF_NAME.to_string());
         let sys = XsSystem::new(cfg, program);
-        let mut diff = DiffTest::for_program(program, harts);
+        let mut diff = DiffTest::for_program_with_ref(&ref_model, program, harts);
         if coverage {
             diff.coverage = Some(crate::coverage::CommitCoverage::default());
         }

@@ -160,6 +160,13 @@ impl Nemu {
         n
     }
 
+    /// Re-import architectural state after an external write to the hart
+    /// (DiffTest REF patches write `hart.state` directly; the shadow
+    /// register file must follow or the next sync would clobber them).
+    pub fn resync(&mut self) {
+        self.sync_regs_from_hart();
+    }
+
     fn refresh_fast_mem(&mut self) {
         // The fast path assumes flat physical memory: machine mode (or
         // bare satp) and no MPRV redirection.

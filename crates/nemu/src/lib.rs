@@ -4,12 +4,16 @@
 //!
 //! | Interpreter | Paper counterpart | Structure |
 //! |---|---|---|
+//! | [`NemuTrace`] | NEMU (trace tier) | superblock traces, chained exits, micro-TLBs |
 //! | [`Nemu`] | NEMU | trace-organized uop cache, block chaining, host FP |
 //! | [`SpikeLike`] | Spike | direct-mapped decode cache, SoftFloat arithmetic |
 //! | [`DromajoLike`] | Dromajo | plain decode-and-execute, no cache |
 //! | [`QemuTciLike`] | QEMU-TCI | per-instruction bytecode dispatch layer |
 //!
-//! All four share the architectural semantics in [`hart`], so they agree
+//! The [`registry`] module is the canonical enumeration of these
+//! personalities; test tiers derive their sets from it.
+//!
+//! All five share the architectural semantics in [`hart`], so they agree
 //! instruction-for-instruction — which is also what makes [`Nemu`] (via
 //! its architectural slow path) an "easy-to-develop REF for DiffTest"
 //! exactly as the paper uses it.
@@ -34,7 +38,10 @@
 pub mod fast;
 pub mod hart;
 pub mod interp;
+pub mod registry;
+pub mod trace;
 
 pub use fast::{Nemu, NemuStats};
 pub use hart::{Hart, MemAccess, StepInfo};
 pub use interp::{boot, DromajoLike, Interpreter, QemuTciLike, RunResult, SpikeLike};
+pub use trace::{NemuTrace, TraceStats};

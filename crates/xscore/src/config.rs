@@ -142,6 +142,11 @@ pub struct XsConfig {
     /// end-of-run diff-rule and pipeline-event coverage). One array add
     /// per commit when on; the default path pays nothing.
     pub coverage: bool,
+    /// DiffTest REF personality by name (`"arch"`, `"nemu"`,
+    /// `"nemu-trace"`, ...). `None` selects the default architectural
+    /// stepper. A string rather than an enum: xscore cannot depend on
+    /// the interpreter crate, so resolution happens in the co-sim layer.
+    pub ref_model: Option<String>,
 }
 
 impl XsConfig {
@@ -189,6 +194,7 @@ impl XsConfig {
             injected_bug: None,
             telemetry: false,
             coverage: false,
+            ref_model: None,
         }
     }
 
@@ -234,6 +240,7 @@ impl XsConfig {
             injected_bug: None,
             telemetry: false,
             coverage: false,
+            ref_model: None,
         }
     }
 
@@ -321,6 +328,12 @@ impl XsConfig {
     /// Enable coverage-map collection (fuzzing and coverage-pin runs).
     pub fn with_coverage(mut self) -> Self {
         self.coverage = true;
+        self
+    }
+
+    /// Select the DiffTest REF personality by name.
+    pub fn with_ref_model(mut self, name: impl Into<String>) -> Self {
+        self.ref_model = Some(name.into());
         self
     }
 

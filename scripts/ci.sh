@@ -15,7 +15,12 @@
 #   6. a fuzz smoke — two identical coverage-guided campaigns must emit
 #      byte-identical deterministic report bodies with coverage growing
 #      strictly round-over-round, and an injected-bug fuzz campaign must
-#      find, triage, and replay the divergence.
+#      find, triage, and replay the divergence,
+#   7. a bench smoke — scripts/bench.sh emits a schema-clean
+#      BENCH_fig8.json covering every interpreter personality, the
+#      golden_bench pins pass, and a 12-job campaign with the superblock
+#      trace tier as the DiffTest REF runs to completion twice with
+#      byte-identical deterministic report bodies.
 #
 # The campaign step is what the paper calls the verification flow: any
 # DUT regression that makes a workload diverge, hang, or panic fails
@@ -211,5 +216,57 @@ EOF
 )"
 echo "fuzz bug bundle: $fuzz_bundle"
 timeout 300 target/release/replay --bundle "$fuzz_bundle"
+
+echo "== tier-1: bench smoke (BENCH_fig8.json + --ref nemu-trace campaign) =="
+bench_json="$(mktemp /tmp/bench-smoke.XXXXXX.json)"
+trace_a="$(mktemp /tmp/trace-ref-a.XXXXXX.json)"
+trace_b="$(mktemp /tmp/trace-ref-b.XXXXXX.json)"
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$fuzz_a" "$fuzz_b" "$fuzz_bug" "$bench_json" "$trace_a" "$trace_b"; rm -rf "$bundle_dir" "$fuzz_bundles"' EXIT
+# Reduced fuel keeps the leg fast; the committed BENCH_fig8.json (which
+# golden_bench pins for speed ordering) is generated at full budget.
+MINJIE_BENCH_FUEL=20000000 MINJIE_BENCH_OUT="$bench_json" scripts/bench.sh
+
+python3 - "$bench_json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema_version"] == 1, r["schema_version"]
+assert r["figure"] == "fig8"
+ps = r["personalities"]
+assert len(ps) >= 5, f"personality set shrank: {sorted(ps)}"
+counts = {p["instructions"] for p in ps.values()}
+assert len(counts) == 1, f"personalities disagree on retired instructions: {ps}"
+assert r["campaign"]["ref"] == "nemu-trace"
+assert r["campaign"]["halted"] == r["campaign"]["jobs"] > 0, r["campaign"]
+assert set(r["timing"]["mips"]) == set(ps), "timing.mips personality set drifted"
+print("bench smoke report OK:", {n: round(m, 1) for n, m in r["timing"]["mips"].items()})
+EOF
+
+cargo test -q --test golden_bench
+
+# The trace tier as the DiffTest REF: same 12-job smoke as step 3, run
+# twice; both must halt everywhere and agree byte for byte once the
+# timing section is dropped.
+for f in "$trace_a" "$trace_b"; do
+    timeout 600 target/release/campaign \
+        --workloads mcf,libquantum \
+        --configs small-nh,small-yqh \
+        --torture-seeds 0..4 \
+        --workers 4 \
+        --ref nemu-trace \
+        --out "$f"
+done
+
+python3 - "$trace_a" "$trace_b" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+s = a["summary"]
+assert s["total"] == 12 and s["halted"] == 12, s
+for r in (a, b):
+    del r["timing"]
+assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
+    "--ref nemu-trace campaign bodies differ between identical runs"
+print("trace-REF campaign OK:", s)
+EOF
 
 echo "== tier-1 gate passed =="

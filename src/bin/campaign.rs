@@ -5,7 +5,8 @@
 //! campaign [--workloads mcf,lbm] [--configs small-nh,small-yqh]
 //!          [--torture-seeds 0..8] [--workers 4] [--max-cycles 40000000]
 //!          [--lightsss N] [--inject-bug mul-low-bit|addw-no-sext]
-//!          [--telemetry] [--coverage] [--no-minimize] [--no-triage]
+//!          [--ref arch|nemu|nemu-trace|...] [--telemetry] [--coverage]
+//!          [--no-minimize] [--no-triage]
 //!          [--bundle-dir DIR] [--job-timeout-ms N] [--retries N]
 //!          [--retry-backoff-ms N] [--out report.json]
 //! campaign --fuzz [--rounds N] [--fuzz-jobs N] [--fuzz-seed N]
@@ -22,6 +23,7 @@
 //! errors.
 
 use campaign::{run_fuzz, Campaign, FuzzOpts, JobSpec, Verdict, WorkloadSource};
+use minjie::AnyRef;
 use workloads::TortureConfig;
 use xscore::{InjectedBug, XsConfig};
 
@@ -31,15 +33,17 @@ fn usage(err: &str) -> ! {
         "usage: campaign [--workloads k1,k2] [--configs c1,c2] [--torture-seeds A..B|s1,s2]\n\
          \x20               [--workers N] [--max-cycles N] [--lightsss N]\n\
          \x20               [--inject-bug mul-low-bit|addw-no-sext] [--telemetry] [--coverage]\n\
-         \x20               [--no-minimize] [--no-triage] [--bundle-dir DIR]\n\
+         \x20               [--ref NAME] [--no-minimize] [--no-triage] [--bundle-dir DIR]\n\
          \x20               [--job-timeout-ms N] [--retries N] [--retry-backoff-ms N]\n\
          \x20               [--out FILE]\n\
          \x20      campaign --fuzz [--rounds N] [--fuzz-jobs N] [--fuzz-seed N]\n\
          \x20               [--corpus-dir DIR] [--configs c1,c2] [shared flags above]\n\
          kernels: {}\n\
-         configs: {}",
+         configs: {}\n\
+         refs: {}",
         workloads::NAMES.join(", "),
-        XsConfig::preset_names().join(", ")
+        XsConfig::preset_names().join(", "),
+        AnyRef::names().join(", ")
     );
     std::process::exit(2);
 }
@@ -71,6 +75,7 @@ fn main() {
     let mut corpus_dir: Option<String> = None;
     let mut coverage = false;
     let mut inject: Option<InjectedBug> = None;
+    let mut ref_model: Option<String> = None;
     let mut minimize = true;
     let mut triage = true;
     let mut telemetry = false;
@@ -123,6 +128,7 @@ fn main() {
                     _ => usage("unknown --inject-bug"),
                 });
             }
+            "--ref" => ref_model = Some(value()),
             "--telemetry" => telemetry = true,
             "--no-minimize" => minimize = false,
             "--no-triage" => triage = false,
@@ -153,6 +159,11 @@ fn main() {
             usage(&format!("unknown workload `{k}`"));
         }
     }
+    if let Some(r) = &ref_model {
+        if !AnyRef::names().contains(&r.as_str()) {
+            usage(&format!("unknown --ref `{r}`"));
+        }
+    }
     let report = if fuzz {
         if !kernels.is_empty() || !seeds.is_empty() {
             usage("--fuzz evolves its own recipes: drop --workloads/--torture-seeds");
@@ -169,6 +180,7 @@ fn main() {
             injected_bug: inject,
             minimize,
             triage,
+            ref_model: ref_model.clone(),
         };
         eprintln!(
             "fuzz campaign: {} rounds x {} jobs on {} workers (seed {})",
@@ -225,6 +237,9 @@ fn main() {
                 }
                 if coverage {
                     spec = spec.with_coverage();
+                }
+                if let Some(r) = &ref_model {
+                    spec = spec.with_ref(r.clone());
                 }
                 spec
             })

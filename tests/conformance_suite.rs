@@ -1,21 +1,29 @@
 //! Cross-interpreter conformance tier.
 //!
 //! Every block below runs one hand-written per-extension program through
-//! all four interpreter personalities — [`Nemu`] (the fast block-chaining
-//! reference), [`SpikeLike`] (decode cache + SoftFloat), [`DromajoLike`]
-//! (plain decode-and-execute), and [`QemuTciLike`] (bytecode dispatch) —
-//! and asserts identical architectural state afterwards: exit code, PC,
-//! all 32 GPRs, all 32 FPRs, and the retired-instruction count.
+//! every interpreter personality in [`nemu::registry`] — plain
+//! decode-and-execute (`dromajo-like`), bytecode dispatch
+//! (`qemu-tci-like`), decode cache + SoftFloat (`spike-like`), the fast
+//! block-chaining uop cache (`nemu`), and the superblock trace tier
+//! (`nemu-trace`) — and asserts identical architectural state afterwards:
+//! exit code, PC, all 32 GPRs, all 32 FPRs, and the retired-instruction
+//! count.
 //!
 //! This is where fast-path specialization bugs show up: `li`/`mv`/`ret`/
-//! `auipc` shortcuts, discarded x0 writes, and block chaining only exist
-//! in the fast interpreter, so any divergence from the three baselines
-//! pins the bug to that specialization. A second, pure tier cross-checks
-//! the interpreters against `riscv_isa::exec` directly: for an op and
-//! operand matrix, the architectural exit code must equal what
+//! `auipc` shortcuts, discarded x0 writes, block chaining, superblock
+//! formation, exit-edge patching, and load/store micro-TLBs only exist
+//! in the fast tiers, so any divergence from the baselines pins the bug
+//! to that specialization. The matrix is registry-driven: adding a
+//! personality automatically enrolls it here. A second, pure tier
+//! cross-checks the interpreters against `riscv_isa::exec` directly: for
+//! an op and operand matrix, the architectural exit code must equal what
 //! [`int_compute`] / [`branch_taken`] / [`amo_compute`] say in isolation.
+//! A final block pins the trace-tier invalidation rules (`fence.i`,
+//! `sfence.vma`, satp rewrite, indirect-jump retarget) with programs
+//! whose *results* change if stale traces or micro-TLB entries survive.
 
-use nemu::{DromajoLike, Interpreter, Nemu, QemuTciLike, SpikeLike};
+use nemu::registry::PERSONALITIES;
+use nemu::{Interpreter, NemuTrace};
 use riscv_isa::asm::{reg::*, Asm, Program};
 use riscv_isa::exec::{amo_compute, branch_taken, int_compute};
 use riscv_isa::Op;
@@ -23,27 +31,35 @@ use riscv_isa::Op;
 const FUEL: u64 = 2_000_000;
 const BASE: u64 = 0x8000_0000;
 
-/// Run `p` on all four interpreters; assert they halt with identical
-/// architectural state and return the common exit code.
+/// Run `p` on every registered interpreter personality; assert they all
+/// halt with identical architectural state and return the common exit
+/// code.
 fn conform(p: &Program) -> u64 {
-    let mut n = Nemu::new(p);
-    let mut s = SpikeLike::new(p);
-    let mut d = DromajoLike::new(p);
-    let mut q = QemuTciLike::new(p);
-    let rn = n.run(FUEL);
-    assert!(rn.exit_code.is_some(), "program did not halt under Nemu");
-    for (name, r, hart) in [
-        ("spike", s.run(FUEL), s.hart()),
-        ("dromajo", d.run(FUEL), d.hart()),
-        ("qemu-tci", q.run(FUEL), q.hart()),
-    ] {
-        assert_eq!(rn.exit_code, r.exit_code, "{name}: exit code");
-        assert_eq!(rn.instructions, r.instructions, "{name}: instret");
-        assert_eq!(n.hart().state.pc, hart.state.pc, "{name}: pc");
-        assert_eq!(n.hart().state.gpr, hart.state.gpr, "{name}: gpr file");
-        assert_eq!(n.hart().state.fpr, hart.state.fpr, "{name}: fpr file");
+    let mut engines: Vec<(&'static str, Box<dyn Interpreter>)> = PERSONALITIES
+        .iter()
+        .map(|pers| (pers.name, (pers.build)(p)))
+        .collect();
+    assert!(
+        engines.len() >= 5,
+        "personality registry lost a tier: {:?}",
+        nemu::registry::names()
+    );
+    let (head, rest) = engines.split_first_mut().expect("registry is non-empty");
+    let r0 = head.1.run(FUEL);
+    assert!(
+        r0.exit_code.is_some(),
+        "program did not halt under {}",
+        head.0
+    );
+    for (name, e) in rest {
+        let r = e.run(FUEL);
+        assert_eq!(r0.exit_code, r.exit_code, "{name}: exit code");
+        assert_eq!(r0.instructions, r.instructions, "{name}: instret");
+        assert_eq!(head.1.hart().state.pc, e.hart().state.pc, "{name}: pc");
+        assert_eq!(head.1.hart().state.gpr, e.hart().state.gpr, "{name}: gpr file");
+        assert_eq!(head.1.hart().state.fpr, e.hart().state.fpr, "{name}: fpr file");
     }
-    rn.exit_code.unwrap()
+    r0.exit_code.unwrap()
 }
 
 /// Interesting 64-bit operand values for the exec cross-check matrix.
@@ -577,4 +593,196 @@ fn exec_branch_taken_matrix() {
         a.ebreak();
         assert_eq!(conform(&a.assemble()), expect, "{op:?} matrix");
     }
+}
+
+// ---------------------------------------------------------------------
+// Trace-tier invalidation pins
+//
+// Each program is built so its *architectural result* changes if the
+// superblock tier keeps a stale trace, chain link, or micro-TLB entry
+// across the invalidation event. conform() then catches any divergence
+// against the cache-free baselines, and a direct NemuTrace run asserts
+// the invalidation machinery actually fired (rather than the test
+// passing because nothing was ever cached).
+// ---------------------------------------------------------------------
+
+/// Sv39 leaf PTE: valid, readable, writable, executable, accessed,
+/// dirty. A/D preset so the walker never writes PTEs mid-test.
+const PTE_FLAGS: u64 = 0xcf;
+
+#[test]
+fn trace_pin_fence_i_invalidates_traces() {
+    // A function is called, overwritten in memory with a template that
+    // adds a different constant, then called twice more after fence.i.
+    // A trace tier that keeps executing the memoized body returns 3
+    // instead of 5.
+    let mut a = Asm::new(BASE);
+    let f = a.label();
+    let template = a.label();
+    let done = a.label();
+    a.li(A0, 0);
+    a.call(f); // +1
+    a.la(T0, template);
+    a.ld(T1, 0, T0); // addi a0,a0,2 ; ret  (8 bytes, both 32-bit)
+    a.la(T2, f);
+    a.sd(T1, 0, T2);
+    a.fence_i();
+    a.call(f); // +2
+    a.call(f); // +2
+    a.j(done);
+    a.bind(f);
+    a.addi(A0, A0, 1);
+    a.ret();
+    a.bind(template);
+    a.addi(A0, A0, 2);
+    a.ret();
+    a.bind(done);
+    a.ebreak();
+    let p = a.assemble();
+    assert_eq!(conform(&p), 5);
+    let mut t = NemuTrace::new(&p);
+    assert_eq!(t.run(FUEL).exit_code, Some(5));
+    assert!(t.stats.flushes >= 1, "fence.i never flushed the trace tier");
+}
+
+#[test]
+fn trace_pin_sfence_vma_invalidates_translations() {
+    // Sv39 via mstatus.MPRV: a root table maps VA 0x4000_0000 to one
+    // 1 GiB frame and identity-maps 0x8000_0000 so the page table
+    // itself stays reachable. The PTE is rewritten in place to point at
+    // a second frame, then sfence.vma. A stale load micro-TLB entry
+    // returns 111 again instead of 222.
+    let root: u64 = 0x8300_0000;
+    let pte_lo = (0x8000_0000u64 >> 12) << 10 | PTE_FLAGS; // frame A
+    let pte_hi = (0xc000_0000u64 >> 12) << 10 | PTE_FLAGS; // frame B
+    let pte_id = (0x8000_0000u64 >> 12) << 10 | PTE_FLAGS; // identity
+    let mut a = Asm::new(BASE);
+    // Plant the two observable values (M-mode, still bare).
+    a.li(T0, 111);
+    a.li(T1, 0x8010_0000);
+    a.sd(T0, 0, T1);
+    a.li(T0, 222);
+    a.li(T1, 0xc010_0000u64 as i64);
+    a.sd(T0, 0, T1);
+    // Root table: entry 1 (VA 0x4000_0000) -> frame A, entry 2 identity.
+    a.li(T0, pte_lo as i64);
+    a.li(T1, (root + 8) as i64);
+    a.sd(T0, 0, T1);
+    a.li(T0, pte_id as i64);
+    a.li(T1, (root + 16) as i64);
+    a.sd(T0, 0, T1);
+    // satp = Sv39 @ root; mstatus.MPRV with MPP=S: data accesses now
+    // translate while fetches stay M-mode bare.
+    a.li(T0, ((8u64 << 60) | (root >> 12)) as i64);
+    a.csrrw(ZERO, riscv_isa::csr::addr::SATP, T0);
+    a.li(T0, ((1u64 << 17) | (1 << 11)) as i64);
+    a.csrrs(ZERO, riscv_isa::csr::addr::MSTATUS, T0);
+    a.li(S0, 0x4010_0000);
+    a.ld(A0, 0, S0); // frame A: 111
+    // Rewrite the PTE through the identity window, then fence.
+    a.li(T0, pte_hi as i64);
+    a.li(T1, (root + 8) as i64);
+    a.sd(T0, 0, T1);
+    a.sfence_vma(ZERO, ZERO);
+    a.ld(A1, 0, S0); // frame B: 222
+    a.add(A0, A0, A1);
+    a.ebreak();
+    let p = a.assemble();
+    assert_eq!(conform(&p), 333);
+    let mut t = NemuTrace::new(&p);
+    assert_eq!(t.run(FUEL).exit_code, Some(333));
+    assert!(t.stats.flushes >= 1, "sfence.vma never flushed");
+}
+
+#[test]
+fn trace_pin_satp_rewrite_invalidates_micro_tlbs() {
+    // Two root tables map the same VA to different frames; switching
+    // satp between them (csrrw, no sfence) must drop the load micro-TLB
+    // entry filled under the first root. This implementation treats a
+    // satp write as a full address-space switch, like sfence.
+    let r1: u64 = 0x8300_0000;
+    let r2: u64 = 0x8300_1000;
+    let pte_a = (0x8000_0000u64 >> 12) << 10 | PTE_FLAGS;
+    let pte_b = (0xc000_0000u64 >> 12) << 10 | PTE_FLAGS;
+    let mut a = Asm::new(BASE);
+    a.li(T0, 111);
+    a.li(T1, 0x8010_0000);
+    a.sd(T0, 0, T1);
+    a.li(T0, 222);
+    a.li(T1, 0xc010_0000u64 as i64);
+    a.sd(T0, 0, T1);
+    a.li(T0, pte_a as i64);
+    a.li(T1, (r1 + 8) as i64);
+    a.sd(T0, 0, T1);
+    a.li(T0, pte_b as i64);
+    a.li(T1, (r2 + 8) as i64);
+    a.sd(T0, 0, T1);
+    a.li(T0, ((8u64 << 60) | (r1 >> 12)) as i64);
+    a.csrrw(ZERO, riscv_isa::csr::addr::SATP, T0);
+    a.li(T0, ((1u64 << 17) | (1 << 11)) as i64);
+    a.csrrs(ZERO, riscv_isa::csr::addr::MSTATUS, T0);
+    // Two loads per root: the first fills the load micro-TLB, the
+    // second *hits* it, so a stale entry surviving the satp switch
+    // changes the sum (555 instead of 666).
+    a.li(S0, 0x4010_0000);
+    a.ld(A0, 0, S0); // under r1: 111 (TLB fill)
+    a.ld(A1, 0, S0); // under r1: 111 (TLB hit)
+    a.li(T0, ((8u64 << 60) | (r2 >> 12)) as i64);
+    a.csrrw(ZERO, riscv_isa::csr::addr::SATP, T0);
+    a.ld(A2, 0, S0); // under r2: 222 (must re-walk, not hit stale)
+    a.ld(A3, 0, S0); // under r2: 222 (TLB hit on the refilled entry)
+    a.add(A0, A0, A1);
+    a.add(A0, A0, A2);
+    a.add(A0, A0, A3);
+    a.ebreak();
+    let p = a.assemble();
+    assert_eq!(conform(&p), 666);
+    let mut t = NemuTrace::new(&p);
+    assert_eq!(t.run(FUEL).exit_code, Some(666));
+    assert!(t.stats.flushes >= 1, "satp rewrite never flushed");
+    assert!(t.stats.tlb_hits >= 1, "micro-TLBs never engaged");
+}
+
+#[test]
+fn trace_pin_indirect_jump_retarget_repatches_chains() {
+    // A loop calls through a function pointer that is retargeted midway.
+    // The trace tier memoizes the jalr exit edge as a monomorphic inline
+    // cache; a cache that skips re-validation keeps crediting the old
+    // callee and returns 30 instead of 50.
+    let mut a = Asm::new(BASE);
+    let f1 = a.label();
+    let f2 = a.label();
+    let skip = a.label();
+    let done = a.label();
+    a.li(A0, 0);
+    a.li(S0, 0);
+    a.la(S1, f1);
+    a.la(S2, f2);
+    let loop_top = a.bound_label();
+    a.jalr(RA, S1, 0);
+    a.addi(S0, S0, 1);
+    a.li(T0, 5);
+    a.bne(S0, T0, skip);
+    a.mv(S1, S2); // retarget the pointer after 5 calls
+    a.bind(skip);
+    a.li(T0, 10);
+    a.bltu(S0, T0, loop_top);
+    a.j(done);
+    a.bind(f1);
+    a.addi(A0, A0, 3);
+    a.ret();
+    a.bind(f2);
+    a.addi(A0, A0, 7);
+    a.ret();
+    a.bind(done);
+    a.ebreak();
+    let p = a.assemble();
+    assert_eq!(conform(&p), 5 * 3 + 5 * 7);
+    let mut t = NemuTrace::new(&p);
+    assert_eq!(t.run(FUEL).exit_code, Some(50));
+    assert!(
+        t.stats.links_patched >= 2,
+        "indirect-edge inline cache never repatched: {:?}",
+        t.stats
+    );
 }

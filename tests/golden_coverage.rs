@@ -86,3 +86,33 @@ fn pinned_round_is_deterministic() {
     assert_eq!(a.report.deterministic_json(), b.report.deterministic_json());
     assert_eq!(a.corpus, b.corpus);
 }
+
+/// Every interpreter personality (plus the architectural default REF)
+/// backs a small fixed-seed fuzz round without diverging. The list is
+/// derived from [`nemu::registry`], not written out, so adding a
+/// personality enrolls it here automatically instead of silently
+/// skipping fuzz coverage for the new tier.
+#[test]
+fn every_personality_serves_as_fuzz_ref() {
+    let mut refs = vec![minjie::ARCH_REF_NAME];
+    refs.extend(nemu::registry::names());
+    assert!(refs.len() >= 6, "personality registry lost a tier: {refs:?}");
+    for r in refs {
+        let mut opts = FuzzOpts::new(7);
+        opts.rounds = 1;
+        opts.jobs_per_round = 4;
+        opts.configs = vec!["small-nh".into()];
+        opts.workers = 4;
+        opts.max_cycles = 4_000_000;
+        opts.minimize = false;
+        opts.triage = false;
+        opts.ref_model = Some(r.to_string());
+        let out = run_fuzz(&opts);
+        assert_eq!(
+            out.report.summary.halted, out.report.summary.total,
+            "REF {r}: fuzz round not divergence-free: {}",
+            out.report.deterministic_json()
+        );
+        assert_eq!(out.report.summary.total, 4, "REF {r}: job count");
+    }
+}
