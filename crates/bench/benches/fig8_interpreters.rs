@@ -15,9 +15,12 @@
 //! Environment knobs:
 //! - `MINJIE_SCALE=ref` — larger workload inputs,
 //! - `MINJIE_BENCH_FUEL=N` — per-workload step budget (default 2e8),
+//! - `MINJIE_BENCH_CYCLES=N` — per-workload cycle-model budget
+//!   (default 2e6),
 //! - `MINJIE_BENCH_OUT=path` — also emit the `BENCH_fig8.json` report
-//!   (sim-MIPS per personality + a timed 12-job `--ref nemu-trace`
-//!   smoke campaign) to `path`.
+//!   (sim-MIPS per personality, sim-kilocycles/sec + suite CPI per
+//!   cycle-model preset, and a timed 12-job `--ref nemu-trace` smoke
+//!   campaign) to `path`.
 
 use minjie_bench::fig8;
 use minjie_bench::geomean;
@@ -82,11 +85,17 @@ fn main() {
         // report wants one contiguous timed pass per personality).
         let personalities = fig8::measure_personalities(scale, fuel);
         let campaign = fig8::measure_campaign("nemu-trace", 12, 2_000_000);
+        let sim_cycles = std::env::var("MINJIE_BENCH_CYCLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2_000_000u64);
+        let cycle_model = fig8::measure_cycle_model(scale, sim_cycles);
         let report = fig8::build_report(
             &format!("spec-like-suite@{scale:?}"),
             fuel,
             &personalities,
             &campaign,
+            &cycle_model,
             t_total.elapsed().as_secs_f64() * 1e3,
         );
         fig8::validate(&report).expect("emitted report is schema-clean");

@@ -6,8 +6,8 @@
 //! counts, job counts, personality names — is a pure function of the
 //! workload suite and seeds, so two same-seed runs produce byte-identical
 //! bodies (`del timing` then compare). Wall-clock-derived rates (sim-MIPS
-//! per personality, campaign jobs/sec, total elapsed) live only under
-//! `timing`. [`validate`] enforces the split structurally: it pins the
+//! per personality, sim-kilocycles/sec per cycle-model preset, campaign
+//! jobs/sec, total elapsed) live only under `timing`. [`validate`] enforces the split structurally: it pins the
 //! exact key set at every level, so a wall-clock field added to the body
 //! fails the schema check rather than silently breaking determinism.
 //!
@@ -15,7 +15,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "figure": "fig8",
 //!   "workload": "spec-like-suite@Test",
 //!   "fuel": 200000000,
@@ -23,8 +23,12 @@
 //!     "nemu-trace": { "paper_counterpart": "...", "instructions": 123 }
 //!   },
 //!   "campaign": { "ref": "nemu-trace", "jobs": 12, "halted": 12 },
+//!   "cycle_model": {
+//!     "small-nh": { "cycles": 456, "instret": 123, "cpi_milli": 3707 }
+//!   },
 //!   "timing": {
 //!     "mips": { "nemu-trace": 512.3 },
+//!     "sim_kilocycles_per_sec": { "small-nh": 210.4 },
 //!     "campaign_jobs_per_sec": 3.4,
 //!     "total_ms": 4571.2
 //!   }
@@ -36,9 +40,18 @@ use nemu::registry::PERSONALITIES;
 use serde::{Map, Value};
 use std::time::Instant;
 use workloads::{all_workloads, Scale, TortureConfig};
+use xscore::XsConfig;
 
 /// Version stamp of the report layout; bump on any structural change.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: adds the `cycle_model` body section (suite cycles / instret /
+/// CPI×1000 per tracked preset) and `timing.sim_kilocycles_per_sec`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Cycle-model presets tracked by the report, in sorted order (the
+/// validator pins the key set, so keep this in sync with the presets
+/// registered in [`XsConfig::preset_names`]).
+pub const CYCLE_PRESETS: [&str; 2] = ["small-nh", "small-yqh"];
 
 /// One personality's pass over the workload suite.
 #[derive(Debug, Clone)]
@@ -64,6 +77,21 @@ pub struct CampaignMeasurement {
     pub halted: u64,
     /// End-to-end campaign throughput.
     pub jobs_per_sec: f64,
+}
+
+/// One cycle-model preset's pass over the workload suite.
+#[derive(Debug, Clone)]
+pub struct CycleModelMeasurement {
+    /// Configuration preset slug (e.g. `"small-nh"`).
+    pub preset: String,
+    /// Total cycles simulated across the suite (deterministic).
+    pub cycles: u64,
+    /// Instructions retired across the suite (deterministic).
+    pub instret: u64,
+    /// Suite CPI scaled by 1000, integer (deterministic).
+    pub cpi_milli: u64,
+    /// Simulation throughput, thousand simulated cycles per second.
+    pub kilocycles_per_sec: f64,
 }
 
 /// Passes over the suite per personality: the Test-scale kernels halt
@@ -93,6 +121,37 @@ pub fn measure_personalities(scale: Scale, fuel: u64) -> Vec<PersonalityMeasurem
                 paper_counterpart: p.paper_counterpart.to_string(),
                 instructions,
                 mips: instructions as f64 / elapsed / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Run the cycle-level core model over the whole workload suite once
+/// per tracked preset ([`CYCLE_PRESETS`]) and measure sim-kilocycles/sec.
+/// Cycles and instret totals are pure functions of the suite, preset,
+/// and `max_cycles` cap, so they live in the deterministic report body;
+/// only the throughput rate is wall-clock-derived.
+pub fn measure_cycle_model(scale: Scale, max_cycles: u64) -> Vec<CycleModelMeasurement> {
+    CYCLE_PRESETS
+        .iter()
+        .map(|preset| {
+            let mut cycles = 0u64;
+            let mut instret = 0u64;
+            let t0 = Instant::now();
+            for w in all_workloads(scale) {
+                let cfg = XsConfig::preset(preset).expect("tracked preset exists");
+                let stats = minjie::run_isolated(cfg, &w.program, max_cycles, None)
+                    .unwrap_or_else(|e| panic!("cycle model panicked on {}: {e}", w.name));
+                cycles += stats.cycles;
+                instret += stats.instret;
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            CycleModelMeasurement {
+                preset: preset.to_string(),
+                cycles,
+                instret,
+                cpi_milli: cycles.saturating_mul(1000) / instret.max(1),
+                kilocycles_per_sec: cycles as f64 / elapsed.max(1e-9) / 1e3,
             }
         })
         .collect()
@@ -133,6 +192,7 @@ pub fn build_report(
     fuel: u64,
     personalities: &[PersonalityMeasurement],
     campaign: &CampaignMeasurement,
+    cycle_model: &[CycleModelMeasurement],
     total_ms: f64,
 ) -> Value {
     let mut pmap = Map::new();
@@ -151,8 +211,19 @@ pub fn build_report(
     camp.insert("ref".into(), Value::String(campaign.reference.clone()));
     camp.insert("jobs".into(), Value::U64(campaign.jobs));
     camp.insert("halted".into(), Value::U64(campaign.halted));
+    let mut cmap = Map::new();
+    let mut kcps = Map::new();
+    for c in cycle_model {
+        let mut entry = Map::new();
+        entry.insert("cycles".into(), Value::U64(c.cycles));
+        entry.insert("instret".into(), Value::U64(c.instret));
+        entry.insert("cpi_milli".into(), Value::U64(c.cpi_milli));
+        cmap.insert(c.preset.clone(), Value::Object(entry));
+        kcps.insert(c.preset.clone(), Value::F64(c.kilocycles_per_sec));
+    }
     let mut timing = Map::new();
     timing.insert("mips".into(), Value::Object(mips));
+    timing.insert("sim_kilocycles_per_sec".into(), Value::Object(kcps));
     timing.insert(
         "campaign_jobs_per_sec".into(),
         Value::F64(campaign.jobs_per_sec),
@@ -165,6 +236,7 @@ pub fn build_report(
     root.insert("fuel".into(), Value::U64(fuel));
     root.insert("personalities".into(), Value::Object(pmap));
     root.insert("campaign".into(), Value::Object(camp));
+    root.insert("cycle_model".into(), Value::Object(cmap));
     root.insert("timing".into(), Value::Object(timing));
     Value::Object(root)
 }
@@ -193,6 +265,7 @@ pub fn validate(v: &Value) -> Result<(), String> {
         "report",
         &[
             "campaign",
+            "cycle_model",
             "figure",
             "fuel",
             "personalities",
@@ -248,14 +321,53 @@ pub fn validate(v: &Value) -> Result<(), String> {
         return Err(format!("campaign jobs/halted malformed: {halted}/{jobs}"));
     }
 
+    let cm = v.get_or_null("cycle_model");
+    expect_keys(cm, "cycle_model", &CYCLE_PRESETS)?;
+    for preset in CYCLE_PRESETS {
+        let entry = cm.get_or_null(preset);
+        expect_keys(entry, preset, &["cpi_milli", "cycles", "instret"])?;
+        let cycles = entry.get_or_null("cycles").as_u64().unwrap_or(0);
+        let instret = entry.get_or_null("instret").as_u64().unwrap_or(0);
+        let cpi_milli = entry.get_or_null("cpi_milli").as_u64().unwrap_or(0);
+        if cycles == 0 || instret == 0 {
+            return Err(format!("{preset}: cycles/instret must be positive"));
+        }
+        if cpi_milli != cycles.saturating_mul(1000) / instret {
+            return Err(format!(
+                "{preset}: cpi_milli {cpi_milli} inconsistent with cycles/instret"
+            ));
+        }
+    }
+
     let timing = v.get_or_null("timing");
-    expect_keys(timing, "timing", &["campaign_jobs_per_sec", "mips", "total_ms"])?;
+    expect_keys(
+        timing,
+        "timing",
+        &[
+            "campaign_jobs_per_sec",
+            "mips",
+            "sim_kilocycles_per_sec",
+            "total_ms",
+        ],
+    )?;
     let mips = timing.get_or_null("mips");
     expect_keys(mips, "timing.mips", &names)?;
     for name in &names {
         match mips.get_or_null(name).as_f64() {
             Some(m) if m.is_finite() && m > 0.0 => {}
             other => return Err(format!("timing.mips.{name} must be positive: {other:?}")),
+        }
+    }
+    let kcps = timing.get_or_null("sim_kilocycles_per_sec");
+    expect_keys(kcps, "timing.sim_kilocycles_per_sec", &CYCLE_PRESETS)?;
+    for preset in CYCLE_PRESETS {
+        match kcps.get_or_null(preset).as_f64() {
+            Some(r) if r.is_finite() && r > 0.0 => {}
+            other => {
+                return Err(format!(
+                    "timing.sim_kilocycles_per_sec.{preset} must be positive: {other:?}"
+                ))
+            }
         }
     }
     for rate in ["campaign_jobs_per_sec", "total_ms"] {
@@ -270,6 +382,22 @@ pub fn validate(v: &Value) -> Result<(), String> {
 /// The sim-MIPS recorded for `name`, if present.
 pub fn mips_of(v: &Value, name: &str) -> Option<f64> {
     v.get_or_null("timing").get_or_null("mips").get(name)?.as_f64()
+}
+
+/// The sim-kilocycles/sec recorded for cycle-model `preset`, if present.
+pub fn kilocycles_per_sec_of(v: &Value, preset: &str) -> Option<f64> {
+    v.get_or_null("timing")
+        .get_or_null("sim_kilocycles_per_sec")
+        .get(preset)?
+        .as_f64()
+}
+
+/// The deterministic suite CPI×1000 for cycle-model `preset`, if present.
+pub fn cpi_milli_of(v: &Value, preset: &str) -> Option<u64> {
+    v.get_or_null("cycle_model")
+        .get_or_null(preset)
+        .get("cpi_milli")?
+        .as_u64()
 }
 
 /// The deterministic body: the report with `timing` removed, rendered
@@ -303,7 +431,18 @@ mod tests {
             halted: 12,
             jobs_per_sec: 3.5,
         };
-        build_report("spec-like-suite@Test", 200_000_000, &ps, &c, 4000.0)
+        let cm: Vec<CycleModelMeasurement> = CYCLE_PRESETS
+            .iter()
+            .enumerate()
+            .map(|(i, preset)| CycleModelMeasurement {
+                preset: preset.to_string(),
+                cycles: 400_000 + 10_000 * i as u64,
+                instret: 100_000,
+                cpi_milli: (400_000 + 10_000 * i as u64) * 1000 / 100_000,
+                kilocycles_per_sec: 250.0 / (i + 1) as f64,
+            })
+            .collect();
+        build_report("spec-like-suite@Test", 200_000_000, &ps, &c, &cm, 4000.0)
     }
 
     #[test]
@@ -361,6 +500,24 @@ mod tests {
             c.insert("ref".into(), Value::String("warp-drive".into()));
         }
         assert!(validate(&r).is_err(), "unknown REF accepted");
+
+        // A wall-clock rate smuggled into a cycle-model body entry.
+        let mut r = sample();
+        if let Some(Value::Object(cm)) = r.as_object_mut_key("cycle_model") {
+            if let Some(Value::Object(e)) = cm.get_mut("small-nh") {
+                e.insert("kilocycles".into(), Value::F64(99.0));
+            }
+        }
+        assert!(validate(&r).is_err(), "extra cycle-model key accepted");
+
+        // A cpi_milli inconsistent with cycles/instret.
+        let mut r = sample();
+        if let Some(Value::Object(cm)) = r.as_object_mut_key("cycle_model") {
+            if let Some(Value::Object(e)) = cm.get_mut("small-yqh") {
+                e.insert("cpi_milli".into(), Value::U64(1));
+            }
+        }
+        assert!(validate(&r).is_err(), "inconsistent cpi_milli accepted");
     }
 
     /// Test-only helper: mutable access to a top-level object field.

@@ -67,6 +67,9 @@ pub struct FuzzOpts {
     pub minimize: bool,
     /// Triage failed jobs into self-contained replay bundles.
     pub triage: bool,
+    /// Stream full lifecycle traces on every job (the crash ring is
+    /// captured regardless).
+    pub lifecycle: bool,
     /// DiffTest REF personality for every job (None keeps the default
     /// architectural stepper).
     pub ref_model: Option<String>,
@@ -87,6 +90,7 @@ impl FuzzOpts {
             injected_bug: None,
             minimize: true,
             triage: true,
+            lifecycle: false,
             ref_model: None,
         }
     }
@@ -229,6 +233,9 @@ fn job_spec(r: &Recipe, opts: &FuzzOpts) -> JobSpec {
     }
     if let Some(bug) = opts.injected_bug {
         spec = spec.with_injected_bug(bug);
+    }
+    if opts.lifecycle {
+        spec = spec.with_lifecycle();
     }
     if let Some(r) = &opts.ref_model {
         spec = spec.with_ref(r.clone());

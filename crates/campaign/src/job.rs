@@ -101,6 +101,9 @@ pub struct JobSpec {
     pub lightsss_interval: Option<u64>,
     /// Enable per-cycle telemetry (occupancy and latency histograms).
     pub telemetry: bool,
+    /// Stream full per-instruction lifecycle traces into ArchDB (the
+    /// cheap ring and digest are always on regardless).
+    pub lifecycle: bool,
     /// Collect coverage maps (decode, diff-rule, pipeline-event); the
     /// record's `coverage` field is populated only when set.
     pub coverage: bool,
@@ -124,6 +127,7 @@ impl JobSpec {
             max_cycles: 40_000_000,
             lightsss_interval: None,
             telemetry: false,
+            lifecycle: false,
             coverage: false,
             wall_timeout_ms: None,
             ref_model: None,
@@ -160,6 +164,12 @@ impl JobSpec {
         self
     }
 
+    /// Enable full-trace lifecycle streaming for this job.
+    pub fn with_lifecycle(mut self) -> Self {
+        self.lifecycle = true;
+        self
+    }
+
     /// Enable coverage-map collection for this job.
     pub fn with_coverage(mut self) -> Self {
         self.coverage = true;
@@ -190,6 +200,9 @@ impl JobSpec {
         }
         if self.telemetry {
             cfg = cfg.with_telemetry();
+        }
+        if self.lifecycle {
+            cfg = cfg.with_lifecycle();
         }
         if self.coverage {
             cfg = cfg.with_coverage();

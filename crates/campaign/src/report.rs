@@ -20,7 +20,11 @@ use workloads::TortureConfig;
 /// reset-fallback flag and commit anchor, wall-clock timeout verdict.
 /// v3: per-job coverage maps (coverage-gated jobs) and the top-level
 /// `fuzz` section describing a coverage-guided campaign's rounds.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: per-instruction lifecycle digest embedded in every job's perf
+/// snapshot (gap histograms, squash causes, dominant-stall counts), and
+/// triage bundles carry the crash-ring lifecycle snapshot (bundle
+/// schema v3).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// How one job ended.
 #[derive(Debug, Clone, Serialize, Deserialize)]

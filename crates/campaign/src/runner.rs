@@ -287,6 +287,7 @@ fn execute_job(index: usize, spec: &JobSpec, policy: JobPolicy) -> JobRecord {
                                 s,
                                 stats.cycles,
                                 stats.commits_checked,
+                                stats.lifecycle_ring,
                             ));
                         }
                     }
@@ -312,6 +313,7 @@ fn execute_job(index: usize, spec: &JobSpec, policy: JobPolicy) -> JobRecord {
                             &bug,
                             salvage,
                             record.minimized.clone(),
+                            stats.lifecycle_ring,
                         ));
                     }
                     Verdict::Diverged { error: bug.error }

@@ -23,7 +23,7 @@ use workloads::TortureConfig;
 use xscore::{CpiStack, InjectedBug};
 
 /// Bundle schema version (independent of the report schema).
-pub const BUNDLE_SCHEMA_VERSION: u64 = 2;
+pub const BUNDLE_SCHEMA_VERSION: u64 = 3;
 
 /// Commit-trace rows retained in the bundle (the tail closest to the
 /// failure point).
@@ -149,6 +149,9 @@ pub struct TriageBundle {
     pub injected_bug: Option<InjectedBug>,
     /// Per-cycle telemetry enabled.
     pub telemetry: bool,
+    /// Full-trace lifecycle streaming enabled (the crash ring below is
+    /// captured regardless).
+    pub lifecycle: bool,
     /// Cycle budget.
     pub max_cycles: u64,
     /// LightSSS snapshot interval.
@@ -183,6 +186,11 @@ pub struct TriageBundle {
     pub trace_records: u64,
     /// The last committed instructions before the failure.
     pub commit_tail: Vec<CommitTailEntry>,
+    /// The always-on lifecycle ring at the failure point: the last
+    /// [`xscore::LIFECYCLE_RING_CAP`] finished uops per core, with
+    /// per-stage cycle stamps and squash causes. Pure-integer stamps —
+    /// deterministic and bounded like everything else in the bundle.
+    pub lifecycle_ring: Vec<xscore::Lifecycle>,
     /// CPI stack of the replayed window alone.
     pub window_cpi: CpiStack,
     /// Minimized reproducer, when ddmin ran on the failure.
@@ -226,6 +234,7 @@ struct WindowRun {
     window_cpi: CpiStack,
     trace_records: u64,
     tail: Vec<CommitTailEntry>,
+    ring: Vec<xscore::Lifecycle>,
 }
 
 /// Roll forward from `start` (a snapshot or the reset state) for up to
@@ -257,6 +266,13 @@ fn replay_window(start: CoSimState, from_cycle: u64, budget: u64) -> WindowRun {
         window_cpi: end_cpi.saturating_sub(&start_cpi),
         trace_records: cosim.archdb.records_inserted(),
         tail: commit_tail(&cosim.archdb),
+        ring: cosim
+            .state
+            .sys
+            .cores
+            .iter()
+            .flat_map(|c| c.lifecycle_ring())
+            .collect(),
     }
 }
 
@@ -271,6 +287,7 @@ fn base_bundle(job_index: u64, spec: &JobSpec, trigger: &str) -> TriageBundle {
         cores: spec.cores.map(|c| c as u64),
         injected_bug: spec.injected_bug,
         telemetry: spec.telemetry,
+        lifecycle: spec.lifecycle,
         max_cycles: spec.max_cycles,
         lightsss_interval: spec.lightsss_interval,
         ref_model: spec.ref_model.clone(),
@@ -286,6 +303,7 @@ fn base_bundle(job_index: u64, spec: &JobSpec, trigger: &str) -> TriageBundle {
         cycles_replayed: 0,
         trace_records: 0,
         commit_tail: Vec::new(),
+        lifecycle_ring: Vec::new(),
         window_cpi: CpiStack::default(),
         minimized: None,
     }
@@ -300,6 +318,7 @@ pub fn triage_divergence(
     bug: &BugReport,
     salvage: Option<Salvage>,
     minimized: Option<MinimizedRepro>,
+    lifecycle_ring: Vec<xscore::Lifecycle>,
 ) -> TriageBundle {
     let mut b = base_bundle(job_index, spec, "diverged");
     b.at_cycle = bug.at_cycle;
@@ -307,6 +326,9 @@ pub fn triage_divergence(
     b.error = Some(bug.error.clone());
     b.error_class = Some(error_class(&bug.error).to_string());
     b.minimized = minimized;
+    // The failing run ended at the divergence, so its always-on ring is
+    // already the window right before the failure.
+    b.lifecycle_ring = lifecycle_ring;
     match (&bug.replay, salvage) {
         (Some(r), _) => {
             b.snapshot_cycle = r.from_cycle;
@@ -328,6 +350,9 @@ pub fn triage_divergence(
             b.trace_records = w.trace_records;
             b.commit_tail = w.tail;
             b.window_cpi = w.window_cpi;
+            if b.lifecycle_ring.is_empty() {
+                b.lifecycle_ring = w.ring;
+            }
         }
         (None, None) => {}
     }
@@ -343,12 +368,14 @@ pub fn triage_timeout(
     salvage: Salvage,
     end_cycle: u64,
     commits_checked: u64,
+    lifecycle_ring: Vec<xscore::Lifecycle>,
 ) -> TriageBundle {
     let mut b = base_bundle(job_index, spec, "timeout");
     b.at_cycle = end_cycle;
     b.at_commit = commits_checked;
     b.snapshot_cycle = salvage.snapshot_cycle;
     b.fallback_reset = salvage.fallback_reset;
+    b.lifecycle_ring = lifecycle_ring;
     let from = salvage.snapshot_cycle;
     let budget = end_cycle.saturating_sub(from);
     let w = replay_window(salvage.state, from, budget);
@@ -359,6 +386,9 @@ pub fn triage_timeout(
     b.trace_records = w.trace_records;
     b.commit_tail = w.tail;
     b.window_cpi = w.window_cpi;
+    if b.lifecycle_ring.is_empty() {
+        b.lifecycle_ring = w.ring;
+    }
     b
 }
 
@@ -409,6 +439,15 @@ pub fn triage_panic(job_index: u64, spec: &JobSpec, message: &str) -> TriageBund
     b.cycles_replayed = cosim.state.time();
     b.trace_records = cosim.archdb.records_inserted();
     b.commit_tail = commit_tail(&cosim.archdb);
+    // The original harness unwound, but the debug replay stopped at the
+    // same panic, so its ring is the equivalent pre-failure window.
+    b.lifecycle_ring = cosim
+        .state
+        .sys
+        .cores
+        .iter()
+        .flat_map(|c| c.lifecycle_ring())
+        .collect();
     b.window_cpi = end_cpi.saturating_sub(&start_cpi);
     b
 }
@@ -428,6 +467,9 @@ pub fn bundle_spec(b: &TriageBundle) -> JobSpec {
     }
     if b.telemetry {
         spec = spec.with_telemetry();
+    }
+    if b.lifecycle {
+        spec = spec.with_lifecycle();
     }
     if let Some(r) = &b.ref_model {
         spec = spec.with_ref(r.clone());
@@ -566,6 +608,9 @@ impl TriageBundle {
             &self.window_cpi,
             "window CPI stack",
         ));
+        if !self.lifecycle_ring.is_empty() {
+            s.push_str(&xscore::render_waterfall(&self.lifecycle_ring));
+        }
         if !self.commit_tail.is_empty() {
             s.push_str(&format!(
                 "commit tail (last {} commits):\n",
@@ -632,11 +677,19 @@ mod tests {
         let CoSimEnd::Bug(bug) = &stats.end else {
             panic!("expected a divergence, got {:?}", stats.end);
         };
-        let bundle = triage_divergence(0, &spec, bug, salvage, None);
+        let bundle = triage_divergence(0, &spec, bug, salvage, None, stats.lifecycle_ring.clone());
         assert_eq!(bundle.trigger, "diverged");
         assert!(bundle.reproduced, "rollback replay reproduces");
         assert_eq!(bundle.error_class.as_deref(), Some("Writeback"));
         assert!(!bundle.commit_tail.is_empty(), "commit tail captured");
+        assert!(
+            !bundle.lifecycle_ring.is_empty(),
+            "lifecycle ring snapshotted at the failure"
+        );
+        assert!(
+            bundle.lifecycle_ring.len() <= xscore::LIFECYCLE_RING_CAP,
+            "single-core ring stays within the cap"
+        );
         // The bundle alone reproduces the failure at the same commit.
         let v = verify_bundle(&bundle).expect("config resolves");
         assert!(v.reproduced, "{}", v.detail);
@@ -673,9 +726,16 @@ mod tests {
         assert!(matches!(stats.end, CoSimEnd::OutOfCycles));
         let salvage = salvage.expect("timeout salvages a rollback point");
         assert!(!salvage.fallback_reset, "snapshots were retained");
-        let bundle =
-            triage_timeout(0, &spec, salvage, stats.cycles, stats.commits_checked);
+        let bundle = triage_timeout(
+            0,
+            &spec,
+            salvage,
+            stats.cycles,
+            stats.commits_checked,
+            stats.lifecycle_ring.clone(),
+        );
         assert_eq!(bundle.trigger, "timeout");
+        assert!(!bundle.lifecycle_ring.is_empty(), "ring captured at budget exhaustion");
         assert!(bundle.reproduced, "window replays to the same end cycle");
         assert!(bundle.cycles_replayed <= 2 * 4_000 + 4_000);
         let v = verify_bundle(&bundle).expect("config resolves");

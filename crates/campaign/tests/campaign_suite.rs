@@ -128,6 +128,14 @@ fn identical_campaigns_produce_byte_identical_report_bodies() {
         "deterministic body must not depend on scheduling or wall clock"
     );
     assert!(body.contains("\"triage\""), "bundles are part of the body");
+    // The lifecycle layer is part of the deterministic body too: every
+    // perf snapshot embeds the digest and failed-job bundles carry the
+    // crash ring, so two same-seed campaigns must agree on both.
+    assert!(body.contains("\"lifecycle\""), "lifecycle digest in the body");
+    assert!(
+        body.contains("\"lifecycle_ring\""),
+        "bundle crash rings are part of the body"
+    );
     // No wall-clock-derived field may leak into the deterministic body.
     for leak in ["total_ms", "per_job_ms", "\"timing\"", "wall_clock"] {
         assert!(!body.contains(leak), "timing leak: {leak}");
@@ -140,6 +148,48 @@ fn identical_campaigns_produce_byte_identical_report_bodies() {
         full["jobs"][0]["workload"],
         "torture:seed=0"
     );
+}
+
+#[test]
+fn bundle_lifecycle_rings_are_bounded_and_well_formed() {
+    // Size discipline: the always-on crash ring snapshotted into a
+    // triage bundle is capped at LIFECYCLE_RING_CAP records per core
+    // and every record is either retired or cause-tagged — the bundle
+    // stays recipe-sized, never a full trace dump.
+    let report = bug_campaign(0..4).run();
+    let mut bundles = 0;
+    for j in &report.jobs {
+        let Some(bundle) = j.triage.as_ref() else {
+            continue;
+        };
+        bundles += 1;
+        assert!(
+            !bundle.lifecycle_ring.is_empty(),
+            "failed job {} has an empty crash ring",
+            j.index
+        );
+        assert!(
+            bundle.lifecycle_ring.len() <= xscore::LIFECYCLE_RING_CAP,
+            "job {}: ring holds {} records, cap is {}",
+            j.index,
+            bundle.lifecycle_ring.len(),
+            xscore::LIFECYCLE_RING_CAP
+        );
+        for r in &bundle.lifecycle_ring {
+            assert!(
+                r.retired() || r.cause.is_some(),
+                "job {}: ring record neither retired nor cause-tagged: {r:?}",
+                j.index
+            );
+            assert!(r.stamps.fetched > 0, "job {}: unfetched ring record", j.index);
+        }
+        // The ring survives a JSON round trip inside the bundle.
+        let json = serde_json::to_string(bundle).expect("bundle serializes");
+        let back: campaign::TriageBundle =
+            serde_json::from_str(&json).expect("bundle deserializes");
+        assert_eq!(back.lifecycle_ring.len(), bundle.lifecycle_ring.len());
+    }
+    assert!(bundles >= 1, "no bundle produced to inspect");
 }
 
 #[test]

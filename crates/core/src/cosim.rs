@@ -110,11 +110,17 @@ pub struct CoSim {
 /// Per-table row cap of the bounded trace a debug-mode replay records.
 const REPLAY_TRACE_CAP: usize = 65_536;
 
+/// Per-table row cap of the full lifecycle trace streamed under
+/// `XsConfig::lifecycle` — keeps the newest window so a long run cannot
+/// grow the database without bound.
+const LIFECYCLE_TRACE_CAP: usize = 262_144;
+
 impl CoSim {
     /// Boot a program under co-simulation.
     pub fn new(cfg: XsConfig, program: &Program) -> Self {
         let harts = cfg.cores;
         let coverage = cfg.coverage;
+        let lifecycle = cfg.lifecycle;
         let ref_model = cfg
             .ref_model
             .clone()
@@ -129,7 +135,13 @@ impl CoSim {
             reset: Box::new(state.clone()),
             state,
             lightsss: None,
-            archdb: ArchDb::new(),
+            // Full-trace mode streams a lifecycle record per finished uop;
+            // bound the database so the stream keeps only the newest window.
+            archdb: if lifecycle {
+                ArchDb::bounded(LIFECYCLE_TRACE_CAP)
+            } else {
+                ArchDb::new()
+            },
             debug_mode: false,
         }
     }
@@ -189,6 +201,13 @@ impl CoSim {
                 if self.debug_mode {
                     self.archdb.insert("sbuffer_drain", d.cycle, d);
                 }
+            }
+        }
+        // Drain full-trace lifecycle records (empty unless
+        // `XsConfig::lifecycle` is on, so this is free on the default path).
+        for core in &mut self.state.sys.cores {
+            for rec in core.take_lifecycle_trace() {
+                self.archdb.insert("lifecycle", rec.end_cycle(), &rec);
             }
         }
         Ok(())
@@ -295,6 +314,10 @@ pub struct RunStats {
     pub perf: crate::telemetry::PerfSnapshot,
     /// Coverage map of the run (`Some` only under `XsConfig::coverage`).
     pub coverage: Option<crate::coverage::CoverageMap>,
+    /// The always-on lifecycle ring: the last
+    /// [`xscore::LIFECYCLE_RING_CAP`] finished uops per core (core order),
+    /// snapshotted at the end of the run for crash triage.
+    pub lifecycle_ring: Vec<xscore::Lifecycle>,
 }
 
 /// A rollback start point salvaged from a finished run, so a
@@ -370,6 +393,13 @@ pub fn run_isolated_salvaging(
         let coverage = cosim.state.diff.coverage.as_ref().map(|commit| {
             crate::coverage::CoverageMap::from_run(commit, &cosim.state.diff.stats, &perf)
         });
+        let lifecycle_ring: Vec<xscore::Lifecycle> = cosim
+            .state
+            .sys
+            .cores
+            .iter()
+            .flat_map(|c| c.lifecycle_ring())
+            .collect();
         (
             RunStats {
                 cycles: cosim.state.time(),
@@ -379,6 +409,7 @@ pub fn run_isolated_salvaging(
                 rule_counts,
                 perf,
                 coverage,
+                lifecycle_ring,
                 end,
             },
             salvage,

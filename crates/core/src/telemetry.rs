@@ -185,6 +185,31 @@ impl PerfSnapshot {
             .all(|c| c.perf.cpi.total() == c.perf.cycles * self.commit_width)
     }
 
+    /// The lifecycle digest summed over cores.
+    pub fn lifecycle_digest(&self) -> xscore::LifecycleDigest {
+        let mut total = xscore::LifecycleDigest::default();
+        for c in &self.cores {
+            total.merge(&c.perf.lifecycle);
+        }
+        total
+    }
+
+    /// Cross-check every core's lifecycle digest against its own flush
+    /// and uop counters (see [`xscore::LifecycleDigest::cross_check`]).
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, prefixed with the core index.
+    pub fn lifecycle_consistent(&self) -> Result<(), String> {
+        for (i, c) in self.cores.iter().enumerate() {
+            c.perf
+                .lifecycle
+                .cross_check(&c.perf)
+                .map_err(|e| format!("core {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// Render the snapshot as an aligned ASCII report.
     pub fn render(&self) -> String {
         let mut s = String::new();

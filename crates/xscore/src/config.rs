@@ -142,6 +142,12 @@ pub struct XsConfig {
     /// end-of-run diff-rule and pipeline-event coverage). One array add
     /// per commit when on; the default path pays nothing.
     pub coverage: bool,
+    /// Enable full-trace lifecycle streaming: every finalized
+    /// per-instruction [`Lifecycle`](crate::lifecycle::Lifecycle) record
+    /// is buffered for the co-sim layer to drain into ArchDB (and export
+    /// as O3PipeView text). The cheap layers — stage stamps, the
+    /// last-N ring buffer, and the digest — are always on regardless.
+    pub lifecycle: bool,
     /// DiffTest REF personality by name (`"arch"`, `"nemu"`,
     /// `"nemu-trace"`, ...). `None` selects the default architectural
     /// stepper. A string rather than an enum: xscore cannot depend on
@@ -194,6 +200,7 @@ impl XsConfig {
             injected_bug: None,
             telemetry: false,
             coverage: false,
+            lifecycle: false,
             ref_model: None,
         }
     }
@@ -240,6 +247,7 @@ impl XsConfig {
             injected_bug: None,
             telemetry: false,
             coverage: false,
+            lifecycle: false,
             ref_model: None,
         }
     }
@@ -328,6 +336,12 @@ impl XsConfig {
     /// Enable coverage-map collection (fuzzing and coverage-pin runs).
     pub fn with_coverage(mut self) -> Self {
         self.coverage = true;
+        self
+    }
+
+    /// Enable full-trace lifecycle streaming into ArchDB.
+    pub fn with_lifecycle(mut self) -> Self {
+        self.lifecycle = true;
         self
     }
 

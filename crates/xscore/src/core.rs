@@ -10,6 +10,7 @@
 use crate::bpu::{cf_kind, Bpu, BranchPrediction};
 use crate::config::{IssuePolicy, XsConfig};
 use crate::issue::{ConfTable, DefTable, IssueQueue};
+use crate::lifecycle::{Lifecycle, LifecycleRing, SquashCause, LIFECYCLE_RING_CAP};
 use crate::lsu::{ForwardResult, Lsu};
 use crate::perf::PerfCounters;
 use crate::prf::{PReg, Prf, Rat};
@@ -64,6 +65,8 @@ struct PreUop {
     pred: Option<BranchPrediction>,
     npc: u64,
     fault: Option<(Exception, u64)>,
+    /// Cycle the instruction entered the ibuf (lifecycle fetch stamp).
+    fetched_at: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +181,11 @@ pub struct Core {
     recovery_seq: u64,
     rename_blocked_rob: bool,
     rename_blocked_iq: bool,
+    // Lifecycle tracing: the last-N ring is always on; the full-trace
+    // buffer only fills when `cfg.lifecycle` is set (drained by the
+    // co-sim layer into ArchDB).
+    life_ring: LifecycleRing,
+    life_trace: Vec<Lifecycle>,
 }
 
 impl Core {
@@ -254,7 +262,82 @@ impl Core {
             recovery_seq: 0,
             rename_blocked_rob: false,
             rename_blocked_iq: false,
+            life_ring: LifecycleRing::new(LIFECYCLE_RING_CAP),
+            life_trace: Vec::new(),
             cfg,
+        }
+    }
+
+    /// Snapshot of the always-on ring of the most recently finalized
+    /// lifecycle records (retired and squashed), oldest first.
+    pub fn lifecycle_ring(&self) -> Vec<Lifecycle> {
+        self.life_ring.snapshot()
+    }
+
+    /// Drain the full-trace lifecycle records accumulated since the last
+    /// call. Always empty unless `cfg.lifecycle` is enabled.
+    pub fn take_lifecycle_trace(&mut self) -> Vec<Lifecycle> {
+        std::mem::take(&mut self.life_trace)
+    }
+
+    /// Finalize a committed uop's lifecycle record. Stamps a stage never
+    /// passed through individually (commit-time execution, eliminated
+    /// moves) inherit the commit cycle so retired records stay monotone.
+    fn finalize_retired(&mut self, e: &crate::rob::RobEntry) {
+        let mut s = e.life;
+        if s.fetched == 0 {
+            s.fetched = s.renamed;
+        }
+        if s.decoded == 0 {
+            s.decoded = s.fetched;
+        }
+        if s.issued == 0 {
+            s.issued = self.cycle;
+        }
+        if s.executed == 0 {
+            s.executed = self.cycle;
+        }
+        if s.writeback == 0 {
+            s.writeback = self.cycle;
+        }
+        let rec = Lifecycle {
+            hart: self.hart as u64,
+            seq: e.seq,
+            pc: e.uop.pc,
+            inst: e.uop.inst.raw,
+            fused: e.uop.fused.is_some(),
+            mem: e.uop.inst.is_load() || e.uop.inst.is_store(),
+            stamps: s,
+            committed: self.cycle,
+            squashed_at: 0,
+            cause: None,
+        };
+        self.perf.lifecycle.observe_retired(&rec);
+        self.life_ring.push(rec);
+        if self.cfg.lifecycle {
+            self.life_trace.push(rec);
+        }
+    }
+
+    /// Finalize a squashed uop's lifecycle record (stamps are left as-is
+    /// to show how far the uop got before the flush).
+    fn finalize_squashed(&mut self, e: &crate::rob::RobEntry, cause: SquashCause) {
+        let rec = Lifecycle {
+            hart: self.hart as u64,
+            seq: e.seq,
+            pc: e.uop.pc,
+            inst: e.uop.inst.raw,
+            fused: e.uop.fused.is_some(),
+            mem: e.uop.inst.is_load() || e.uop.inst.is_store(),
+            stamps: e.life,
+            committed: 0,
+            squashed_at: self.cycle,
+            cause: Some(cause),
+        };
+        self.perf.lifecycle.observe_squashed(&rec, cause);
+        self.life_ring.push(rec);
+        if self.cfg.lifecycle {
+            self.life_trace.push(rec);
         }
     }
 
@@ -512,6 +595,8 @@ impl Core {
             m.value = value;
         }
         e.state = RobState::Done;
+        e.life.executed = self.cycle;
+        e.life.writeback = self.cycle;
         let (fp, p) = (e.dest_fp, e.phys_rd);
         let has_dest = e.has_dest;
         let issued_at = e.issued_at;
@@ -627,6 +712,8 @@ impl Core {
         e.wb_value = value;
         e.fflags = fflags;
         e.state = RobState::Done;
+        e.life.executed = self.cycle;
+        e.life.writeback = self.cycle;
         e.actual_taken = taken;
         e.actual_target = target;
         let (has_dest, fp, p) = (e.has_dest, e.dest_fp, e.phys_rd);
@@ -658,7 +745,7 @@ impl Core {
         }
         self.perf.flushes_mispredict += 1;
         self.open_recovery(RecoveryKind::Mispredict, seq);
-        self.flush_after(seq, actual_npc, &snapshot);
+        self.flush_after(seq, actual_npc, &snapshot, SquashCause::Mispredict);
     }
 
     /// Open a CPI-attribution recovery window at a flush whose boundary
@@ -669,7 +756,7 @@ impl Core {
     }
 
     /// Flush everything younger than `seq` and restart fetch at `new_pc`.
-    fn flush_after(&mut self, seq: u64, new_pc: u64, snapshot: &(Rat, Rat)) {
+    fn flush_after(&mut self, seq: u64, new_pc: u64, snapshot: &(Rat, Rat), cause: SquashCause) {
         let flushed = self.rob.flush_after(seq);
         for e in &flushed {
             if e.has_dest {
@@ -679,6 +766,7 @@ impl Core {
                     self.prf_int.release(e.phys_rd);
                 }
             }
+            self.finalize_squashed(e, cause);
         }
         self.rat_int = snapshot.0;
         self.rat_fp = snapshot.1;
@@ -695,7 +783,7 @@ impl Core {
     }
 
     /// Full pipeline flush (exceptions, serializing instructions).
-    fn flush_all(&mut self, new_pc: u64) {
+    fn flush_all(&mut self, new_pc: u64, cause: SquashCause) {
         let flushed = self.rob.flush_all();
         for e in &flushed {
             if e.has_dest {
@@ -705,6 +793,7 @@ impl Core {
                     self.prf_int.release(e.phys_rd);
                 }
             }
+            self.finalize_squashed(e, cause);
         }
         self.rat_int = self.arat_int;
         self.rat_fp = self.arat_fp;
@@ -748,7 +837,7 @@ impl Core {
                 let seq = head.seq;
                 self.perf.flushes_violation += 1;
                 self.open_recovery(RecoveryKind::MemViolation, seq);
-                self.flush_all(pc);
+                self.flush_all(pc, SquashCause::MemOrderViolation);
                 break;
             }
             if let Some((cause, tval)) = head.exception {
@@ -865,6 +954,7 @@ impl Core {
             halted: false,
             cycle: self.cycle,
         });
+        self.finalize_retired(&e);
     }
 
     fn take_exception(&mut self, cause: Exception, tval: u64, out: &mut CycleOutput) {
@@ -888,7 +978,7 @@ impl Core {
             halted: false,
             cycle: self.cycle,
         });
-        self.flush_all(handler);
+        self.flush_all(handler, SquashCause::Exception);
         self.perf.flushes_system += 1;
     }
 
@@ -1023,7 +1113,9 @@ impl Core {
                 });
                 self.instret += 1;
                 self.perf.instret += 1;
-                self.rob.pop_head();
+                self.perf.uops += 1;
+                let e = self.rob.pop_head().expect("head");
+                self.finalize_retired(&e);
                 return;
             }
             other => panic!("unhandled commit-exec op {other:?}"),
@@ -1057,9 +1149,10 @@ impl Core {
             halted: false,
             cycle: self.cycle,
         });
+        self.finalize_retired(&e);
         self.perf.flushes_system += 1;
         self.open_recovery(RecoveryKind::Serialize, seq);
-        self.flush_all(redirect);
+        self.flush_all(redirect, SquashCause::Serialize);
     }
 
     /// Record an exception on the ROB head (taken next commit call).
@@ -1320,10 +1413,11 @@ impl Core {
             halted: false,
             cycle: self.cycle,
         });
+        self.finalize_retired(&e);
         // Serialize after atomics.
         self.perf.flushes_system += 1;
         self.open_recovery(RecoveryKind::Serialize, e.seq);
-        self.flush_all(e.uop.fallthrough());
+        self.flush_all(e.uop.fallthrough(), SquashCause::Serialize);
     }
 
     // ------------------------------------------------------------------
@@ -1366,7 +1460,9 @@ impl Core {
                 if self.rob.get(seq).is_none() {
                     continue;
                 }
-                self.rob.get_mut(seq).expect("entry").state = RobState::Issued;
+                let e = self.rob.get_mut(seq).expect("entry");
+                e.state = RobState::Issued;
+                e.life.issued = self.cycle;
                 match class {
                     FuClass::Load => self.issue_load(mem, seq),
                     FuClass::Store => self.issue_store(mem, seq),
@@ -1443,7 +1539,9 @@ impl Core {
                 self.fu_finish_load_later(seq, v, 2 + tlat);
             }
             ForwardResult::Stall => {
-                self.rob.get_mut(seq).expect("e").state = RobState::Waiting;
+                let e = self.rob.get_mut(seq).expect("e");
+                e.state = RobState::Waiting;
+                e.life.replays += 1;
                 self.replay_q.push((self.cycle + 4, seq));
             }
             ForwardResult::None => {
@@ -1465,7 +1563,9 @@ impl Core {
                 };
                 if !mem.submit_data(req) {
                     self.mem_inflight.remove(&id);
-                    self.rob.get_mut(seq).expect("e").state = RobState::Waiting;
+                    let e = self.rob.get_mut(seq).expect("e");
+                    e.state = RobState::Waiting;
+                    e.life.replays += 1;
                     self.replay_q.push((self.cycle + 2, seq));
                 }
             }
@@ -1525,6 +1625,8 @@ impl Core {
             mmio,
         });
         e.state = RobState::Done;
+        e.life.executed = self.cycle;
+        e.life.writeback = self.cycle;
         // Memory-order check: younger loads that already executed on an
         // overlapping address must replay.
         if let Some(viol) = self.lsu.order_violation(seq, pa, size) {
@@ -1552,7 +1654,9 @@ impl Core {
             if self.rob.get(seq).is_none() {
                 continue;
             }
-            self.rob.get_mut(seq).expect("e").state = RobState::Issued;
+            let e = self.rob.get_mut(seq).expect("e");
+            e.state = RobState::Issued;
+            e.life.issued = self.cycle;
             self.issue_load(mem, seq);
         }
         // Deliver deferred load values.
@@ -1594,6 +1698,10 @@ impl Core {
                 let e = self.rob.get_mut(seq).expect("e");
                 e.exception = Some((cause, tval));
                 e.state = RobState::Done;
+                e.life.fetched = pu.fetched_at;
+                e.life.decoded = pu.fetched_at;
+                e.life.renamed = self.cycle;
+                e.life.dispatched = self.cycle;
                 break;
             }
             // Try fusion with the next entry.
@@ -1610,17 +1718,19 @@ impl Core {
                     fused = Some(fuse(a.pc, a.inst, b.inst, b.npc));
                 }
             }
-            let uop = if let Some(f) = fused {
+            let (uop, fetched_at) = if let Some(f) = fused {
+                let at = self.ibuf[0].fetched_at;
                 self.ibuf.pop_front();
                 self.ibuf.pop_front();
-                f
+                (f, at)
             } else {
                 let pu = self.ibuf.pop_front().expect("front");
+                let at = pu.fetched_at;
                 let mut u = Uop::new(pu.pc, pu.inst, pu.pred.clone(), pu.npc);
                 u.pred = pu.pred;
-                u
+                (u, at)
             };
-            if !self.try_rename_one(uop) {
+            if !self.try_rename_one(uop, fetched_at) {
                 break;
             }
         }
@@ -1628,7 +1738,7 @@ impl Core {
 
     /// Rename and dispatch one uop. Returns false when a structural
     /// hazard requires stalling (uop is pushed back to the ibuf).
-    fn try_rename_one(&mut self, uop: Uop) -> bool {
+    fn try_rename_one(&mut self, uop: Uop, fetched_at: u64) -> bool {
         let d = uop.inst;
         let is_load = d.is_load() && !matches!(d.op, Op::LrW | Op::LrD);
         let is_store = d.is_store() && !d.is_amo() && !matches!(d.op, Op::ScW | Op::ScD);
@@ -1637,14 +1747,14 @@ impl Core {
             || matches!(d.op, Op::LrW | Op::LrD | Op::ScW | Op::ScD | Op::Illegal);
         // Structural checks.
         if is_load && self.lsu.lq_full() || is_store && self.lsu.sq_full() {
-            self.push_back(uop);
+            self.push_back(uop, fetched_at);
             return false;
         }
         let class = d.fu_class();
         let qi = self.queue_for(class, &uop);
         if !commit_exec && self.iqs[qi].is_full() {
             self.rename_blocked_iq = true;
-            self.push_back(uop);
+            self.push_back(uop, fetched_at);
             return false;
         }
         // Move elimination.
@@ -1658,7 +1768,7 @@ impl Core {
                 self.prf_int.free_count()
             };
             if free == 0 {
-                self.push_back(uop);
+                self.push_back(uop, fetched_at);
                 return false;
             }
         }
@@ -1685,6 +1795,11 @@ impl Core {
         let e = self.rob.get_mut(seq).expect("just pushed");
         e.phys_srcs = phys_srcs;
         e.commit_exec = commit_exec;
+        let at = if fetched_at != 0 { fetched_at } else { self.cycle };
+        e.life.fetched = at;
+        e.life.decoded = at;
+        e.life.renamed = self.cycle;
+        e.life.dispatched = self.cycle;
         if d.op == Op::Illegal {
             e.exception = Some((Exception::IllegalInstruction, raw as u64));
             e.state = RobState::Done;
@@ -1782,7 +1897,7 @@ impl Core {
         true
     }
 
-    fn push_back(&mut self, uop: Uop) {
+    fn push_back(&mut self, uop: Uop, fetched_at: u64) {
         // Re-split a fused uop is unnecessary: push a PreUop equivalent.
         let (a, b) = (uop.inst, uop.fused);
         if let Some(b) = b {
@@ -1792,6 +1907,7 @@ impl Core {
                 pred: None,
                 npc: uop.predicted_npc,
                 fault: None,
+                fetched_at,
             });
         }
         self.ibuf.push_front(PreUop {
@@ -1804,6 +1920,7 @@ impl Core {
                 uop.predicted_npc
             },
             fault: None,
+            fetched_at,
         });
     }
 
@@ -1846,6 +1963,7 @@ impl Core {
                     pred: None,
                     npc: pc,
                     fault: Some((cause, pc)),
+                    fetched_at: self.cycle,
                 });
                 self.fetch_fault_pending = true;
                 return;
@@ -1924,6 +2042,7 @@ impl Core {
                 pred: Some(pred),
                 npc,
                 fault: None,
+                fetched_at: self.cycle,
             });
             if taken {
                 self.fetch_pc = npc;
@@ -1940,6 +2059,7 @@ impl Core {
                 pred: None,
                 npc: pc + inst.len as u64,
                 fault: None,
+                fetched_at: self.cycle,
             });
             false
         }

@@ -31,6 +31,7 @@ pub mod bpu;
 pub mod config;
 pub mod core;
 pub mod issue;
+pub mod lifecycle;
 pub mod lsu;
 pub mod perf;
 pub mod prf;
@@ -42,6 +43,10 @@ pub mod uop;
 
 pub use config::{InjectedBug, IssuePolicy, MemoryModel, XsConfig};
 pub use core::{Core, CycleOutput};
+pub use lifecycle::{
+    render_gap_summary, render_o3pipeview, render_waterfall, LifeStamps, Lifecycle,
+    LifecycleDigest, LifecycleRing, SquashCause, LIFECYCLE_RING_CAP,
+};
 pub use perf::{CpiStack, PerfCounters};
 pub use system::XsSystem;
 pub use uop::{CommitEvent, CommitMem, SbufferDrainEvent};

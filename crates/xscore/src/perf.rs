@@ -2,6 +2,7 @@
 //! analysis reads from simulation ("we look into the detailed performance
 //! counters obtained from simulation").
 
+use crate::lifecycle::LifecycleDigest;
 use serde::{Deserialize, Serialize};
 use uncore::Hist;
 
@@ -129,6 +130,10 @@ pub struct PerfCounters {
     pub dispatched: u64,
     /// Top-down CPI stack (always on; a few adds per cycle).
     pub cpi: CpiStack,
+    /// Per-instruction lifecycle digest (always on; a handful of adds
+    /// per retired/squashed uop). Cross-checked against the CPI stack by
+    /// [`LifecycleDigest::cross_check`].
+    pub lifecycle: LifecycleDigest,
     /// Per-cycle ROB occupancy (telemetry-gated, like all Hists below).
     pub rob_occupancy: Hist,
     /// Per-cycle ALU issue-queue occupancy (both ALU queues summed).

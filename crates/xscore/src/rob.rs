@@ -3,6 +3,7 @@
 //! Entries are identified by a monotonically increasing sequence number;
 //! age comparisons and flush boundaries are plain `seq` comparisons.
 
+use crate::lifecycle::LifeStamps;
 use crate::prf::{PReg, Rat};
 use crate::uop::{CommitMem, Uop};
 use riscv_isa::trap::Exception;
@@ -72,6 +73,9 @@ pub struct RobEntry {
     pub fflags: u64,
     /// Cycle the uop issued (0 until issued; load-to-use telemetry).
     pub issued_at: u64,
+    /// Per-stage lifecycle stamps (always recorded; see
+    /// [`crate::lifecycle`]).
+    pub life: LifeStamps,
 }
 
 impl RobEntry {
@@ -103,6 +107,7 @@ impl RobEntry {
             replay_at_commit: false,
             fflags: 0,
             issued_at: 0,
+            life: LifeStamps::default(),
         }
     }
 }

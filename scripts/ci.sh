@@ -12,15 +12,21 @@
 #   5. a triage smoke — an injected-bug campaign with LightSSS on must
 #      produce a self-contained replay bundle, and `replay --bundle`
 #      must reproduce the divergence at the identical commit index,
-#   6. a fuzz smoke — two identical coverage-guided campaigns must emit
+#   6. a lifecycle smoke — a 12-job injected-bug campaign must produce
+#      failing jobs whose bundles carry a non-empty crash-ring lifecycle
+#      snapshot, pipeview must render one (waterfall and O3PipeView),
+#      and two identical full-trace `--lifecycle` campaigns must emit
+#      byte-identical deterministic report bodies with a live digest,
+#   7. a fuzz smoke — two identical coverage-guided campaigns must emit
 #      byte-identical deterministic report bodies with coverage growing
 #      strictly round-over-round, and an injected-bug fuzz campaign must
 #      find, triage, and replay the divergence,
-#   7. a bench smoke — scripts/bench.sh emits a schema-clean
-#      BENCH_fig8.json covering every interpreter personality, the
-#      golden_bench pins pass, and a 12-job campaign with the superblock
-#      trace tier as the DiffTest REF runs to completion twice with
-#      byte-identical deterministic report bodies.
+#   8. a bench smoke — scripts/bench.sh emits a schema-clean
+#      BENCH_fig8.json covering every interpreter personality and the
+#      cycle model on both small presets, the golden_bench pins pass,
+#      and a 12-job campaign with the superblock trace tier as the
+#      DiffTest REF runs to completion twice with byte-identical
+#      deterministic report bodies.
 #
 # The campaign step is what the paper calls the verification flow: any
 # DUT regression that makes a workload diverge, hang, or panic fails
@@ -52,7 +58,7 @@ timeout 600 target/release/campaign \
 python3 - "$report" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 3, r["schema_version"]
+assert r["schema_version"] == 4, r["schema_version"]
 s = r["summary"]
 assert s["total"] == 12 and s["halted"] == 12, s
 assert len(r["jobs"]) == 12
@@ -124,7 +130,7 @@ fi
 bundle_file="$(python3 - "$triage_report" "$bundle_dir" <<'EOF'
 import json, os, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 3, r["schema_version"]
+assert r["schema_version"] == 4, r["schema_version"]
 diverged = [j for j in r["jobs"] if "Diverged" in j["verdict"]]
 assert diverged, "injected bug produced no divergence"
 bundled = [j for j in diverged if j.get("triage")]
@@ -143,12 +149,91 @@ echo "triage smoke bundle: $bundle_file"
 # index (replay exits 0 only on REPRODUCED).
 timeout 300 target/release/replay --bundle "$bundle_file"
 
+echo "== tier-1: lifecycle smoke (12-job injected bug -> crash ring -> pipeview) =="
+life_report="$(mktemp /tmp/lifecycle-bug.XXXXXX.json)"
+life_bundles="$(mktemp -d /tmp/lifecycle-bundles.XXXXXX)"
+life_a="$(mktemp /tmp/lifecycle-a.XXXXXX.json)"
+life_b="$(mktemp /tmp/lifecycle-b.XXXXXX.json)"
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$life_report" "$life_a" "$life_b"; rm -rf "$bundle_dir" "$life_bundles"' EXIT
+set +e
+timeout 600 target/release/campaign \
+    --torture-seeds 0..6 \
+    --configs small-nh,small-yqh \
+    --inject-bug mul-low-bit \
+    --lightsss 2000 \
+    --max-cycles 8000000 \
+    --workers 4 \
+    --no-minimize \
+    --bundle-dir "$life_bundles" \
+    --out "$life_report"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "lifecycle smoke: expected exit 1 (diverged jobs), got $rc" >&2
+    exit 1
+fi
+
+# Every failing job's bundle must carry the always-on crash ring: the
+# last uops in flight before the divergence, capped and cause-tagged.
+life_bundle="$(python3 - "$life_report" "$life_bundles" <<'EOF'
+import json, os, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema_version"] == 4, r["schema_version"]
+assert len(r["jobs"]) == 12, len(r["jobs"])
+bundled = [j for j in r["jobs"] if j.get("triage")]
+assert bundled, "injected bug produced no triage bundle"
+for j in bundled:
+    b = j["triage"]
+    assert b["schema_version"] == 3, b["schema_version"]
+    ring = b["lifecycle_ring"]
+    assert ring, f"job {j['index']}: bundle has an empty crash ring"
+    assert len(ring) <= 64, f"job {j['index']}: ring overflows its cap: {len(ring)}"
+    assert all(rec["committed"] > 0 or rec["cause"] for rec in ring), \
+        f"job {j['index']}: ring record neither retired nor cause-tagged"
+    assert all(rec["stamps"]["fetched"] > 0 for rec in ring), \
+        f"job {j['index']}: unfetched ring record"
+print(os.path.join(sys.argv[2], f"job{bundled[0]['index']}.bundle.json"))
+EOF
+)"
+echo "lifecycle smoke bundle: $life_bundle"
+# pipeview renders the bundle's ring as a waterfall and as O3PipeView.
+timeout 300 target/release/pipeview --bundle "$life_bundle" | head -8
+timeout 300 target/release/pipeview --bundle "$life_bundle" --o3 > /dev/null
+target/release/perf_report "$life_report" --lifecycle > /dev/null
+
+# Full-trace mode: two identical --lifecycle campaigns must agree byte
+# for byte once the timing section is dropped, digest included.
+for f in "$life_a" "$life_b"; do
+    timeout 600 target/release/campaign \
+        --workloads mcf,libquantum \
+        --configs small-nh \
+        --torture-seeds 0..2 \
+        --lifecycle \
+        --workers 3 \
+        --out "$f"
+done
+
+python3 - "$life_a" "$life_b" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a["schema_version"] == 4, a["schema_version"]
+for r in (a, b):
+    del r["timing"]
+assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
+    "--lifecycle campaign bodies differ between identical runs"
+digests = [c["perf"]["lifecycle"] for j in a["jobs"] for c in j["perf"]["cores"]]
+assert any(d["retired"] > 0 for d in digests), "lifecycle digest never counted a retire"
+retired = sum(d["retired"] for d in digests)
+print("lifecycle smoke OK: deterministic body, digest retired =", retired)
+EOF
+
 echo "== tier-1: fuzz smoke (determinism + coverage growth) =="
 fuzz_a="$(mktemp /tmp/fuzz-smoke-a.XXXXXX.json)"
 fuzz_b="$(mktemp /tmp/fuzz-smoke-b.XXXXXX.json)"
 fuzz_bug="$(mktemp /tmp/fuzz-bug.XXXXXX.json)"
 fuzz_bundles="$(mktemp -d /tmp/fuzz-bundles.XXXXXX)"
-trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$fuzz_a" "$fuzz_b" "$fuzz_bug"; rm -rf "$bundle_dir" "$fuzz_bundles"' EXIT
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$life_a" "$life_b" "$fuzz_a" "$fuzz_b" "$fuzz_bug"; rm -rf "$bundle_dir" "$fuzz_bundles"' EXIT
 # Same seed + same worker count twice: the deterministic body (report
 # minus the "timing" section) must be byte-identical, and every round
 # must contribute new coverage.
@@ -164,7 +249,7 @@ python3 - "$fuzz_a" "$fuzz_b" <<'EOF'
 import json, sys
 a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
-assert a["schema_version"] == 3, a["schema_version"]
+assert a["schema_version"] == 4, a["schema_version"]
 for r in (a, b):
     del r["timing"]
 assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
@@ -221,7 +306,7 @@ echo "== tier-1: bench smoke (BENCH_fig8.json + --ref nemu-trace campaign) =="
 bench_json="$(mktemp /tmp/bench-smoke.XXXXXX.json)"
 trace_a="$(mktemp /tmp/trace-ref-a.XXXXXX.json)"
 trace_b="$(mktemp /tmp/trace-ref-b.XXXXXX.json)"
-trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$fuzz_a" "$fuzz_b" "$fuzz_bug" "$bench_json" "$trace_a" "$trace_b"; rm -rf "$bundle_dir" "$fuzz_bundles"' EXIT
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$life_a" "$life_b" "$fuzz_a" "$fuzz_b" "$fuzz_bug" "$bench_json" "$trace_a" "$trace_b"; rm -rf "$bundle_dir" "$fuzz_bundles"' EXIT
 # Reduced fuel keeps the leg fast; the committed BENCH_fig8.json (which
 # golden_bench pins for speed ordering) is generated at full budget.
 MINJIE_BENCH_FUEL=20000000 MINJIE_BENCH_OUT="$bench_json" scripts/bench.sh
@@ -229,7 +314,7 @@ MINJIE_BENCH_FUEL=20000000 MINJIE_BENCH_OUT="$bench_json" scripts/bench.sh
 python3 - "$bench_json" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 1, r["schema_version"]
+assert r["schema_version"] == 2, r["schema_version"]
 assert r["figure"] == "fig8"
 ps = r["personalities"]
 assert len(ps) >= 5, f"personality set shrank: {sorted(ps)}"
@@ -238,7 +323,14 @@ assert len(counts) == 1, f"personalities disagree on retired instructions: {ps}"
 assert r["campaign"]["ref"] == "nemu-trace"
 assert r["campaign"]["halted"] == r["campaign"]["jobs"] > 0, r["campaign"]
 assert set(r["timing"]["mips"]) == set(ps), "timing.mips personality set drifted"
-print("bench smoke report OK:", {n: round(m, 1) for n, m in r["timing"]["mips"].items()})
+cm = r["cycle_model"]
+assert set(cm) == {"small-nh", "small-yqh"}, f"cycle-model preset set drifted: {sorted(cm)}"
+for preset, e in cm.items():
+    assert e["cycles"] > 0 and e["instret"] > 0, (preset, e)
+    assert e["cpi_milli"] == e["cycles"] * 1000 // e["instret"], (preset, e)
+assert set(r["timing"]["sim_kilocycles_per_sec"]) == set(cm), "cycle-model rate set drifted"
+print("bench smoke report OK:", {n: round(m, 1) for n, m in r["timing"]["mips"].items()},
+      {p: e["cpi_milli"] for p, e in cm.items()})
 EOF
 
 cargo test -q --test golden_bench

@@ -5,8 +5,8 @@
 //! campaign [--workloads mcf,lbm] [--configs small-nh,small-yqh]
 //!          [--torture-seeds 0..8] [--workers 4] [--max-cycles 40000000]
 //!          [--lightsss N] [--inject-bug mul-low-bit|addw-no-sext]
-//!          [--ref arch|nemu|nemu-trace|...] [--telemetry] [--coverage]
-//!          [--no-minimize] [--no-triage]
+//!          [--ref arch|nemu|nemu-trace|...] [--telemetry] [--lifecycle]
+//!          [--coverage] [--no-minimize] [--no-triage]
 //!          [--bundle-dir DIR] [--job-timeout-ms N] [--retries N]
 //!          [--retry-backoff-ms N] [--out report.json]
 //! campaign --fuzz [--rounds N] [--fuzz-jobs N] [--fuzz-seed N]
@@ -32,7 +32,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: campaign [--workloads k1,k2] [--configs c1,c2] [--torture-seeds A..B|s1,s2]\n\
          \x20               [--workers N] [--max-cycles N] [--lightsss N]\n\
-         \x20               [--inject-bug mul-low-bit|addw-no-sext] [--telemetry] [--coverage]\n\
+         \x20               [--inject-bug mul-low-bit|addw-no-sext] [--telemetry] [--lifecycle]\n\
+         \x20               [--coverage]\n\
          \x20               [--ref NAME] [--no-minimize] [--no-triage] [--bundle-dir DIR]\n\
          \x20               [--job-timeout-ms N] [--retries N] [--retry-backoff-ms N]\n\
          \x20               [--out FILE]\n\
@@ -79,6 +80,7 @@ fn main() {
     let mut minimize = true;
     let mut triage = true;
     let mut telemetry = false;
+    let mut lifecycle = false;
     let mut bundle_dir: Option<String> = None;
     let mut job_timeout_ms: Option<u64> = None;
     let mut retries: Option<u32> = None;
@@ -130,6 +132,7 @@ fn main() {
             }
             "--ref" => ref_model = Some(value()),
             "--telemetry" => telemetry = true,
+            "--lifecycle" => lifecycle = true,
             "--no-minimize" => minimize = false,
             "--no-triage" => triage = false,
             "--bundle-dir" => bundle_dir = Some(value()),
@@ -180,6 +183,7 @@ fn main() {
             injected_bug: inject,
             minimize,
             triage,
+            lifecycle,
             ref_model: ref_model.clone(),
         };
         eprintln!(
@@ -234,6 +238,9 @@ fn main() {
                 }
                 if telemetry {
                     spec = spec.with_telemetry();
+                }
+                if lifecycle {
+                    spec = spec.with_lifecycle();
                 }
                 if coverage {
                     spec = spec.with_coverage();

@@ -2,15 +2,18 @@
 //! occupancy/latency histograms, and cache hit/miss tables.
 //!
 //! ```text
-//! perf_report REPORT.json [--job N]
+//! perf_report REPORT.json [--job N] [--lifecycle]
 //! ```
 //!
 //! `REPORT.json` is either a campaign report (`campaign --out`), in
 //! which case every job's embedded [`PerfSnapshot`] is rendered (or just
 //! job `N` with `--job`), or a bare `PerfSnapshot` JSON artifact (as
-//! written by the CI perf-smoke step). Exit status: 0 on success, 1 if
-//! any rendered snapshot violates the top-down CPI identity, 2 on usage
-//! or parse errors.
+//! written by the CI perf-smoke step). `--lifecycle` additionally
+//! renders each snapshot's lifecycle digest (per-stage gap histograms,
+//! squash causes, dominant-stall attribution) and cross-checks it
+//! against the CPI-stack layer. Exit status: 0 on success, 1 if any
+//! rendered snapshot violates the top-down CPI identity or the
+//! digest/CPI cross-check, 2 on usage or parse errors.
 //!
 //! [`PerfSnapshot`]: minjie::PerfSnapshot
 
@@ -21,13 +24,30 @@ use serde_json::Value;
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: perf_report REPORT.json [--job N]");
+    eprintln!("usage: perf_report REPORT.json [--job N] [--lifecycle]");
     std::process::exit(2);
+}
+
+/// Render the lifecycle digest section of one snapshot; returns false
+/// when the digest is inconsistent with the snapshot's other counters.
+fn render_lifecycle(snap: &PerfSnapshot) -> bool {
+    print!("{}", xscore::render_gap_summary(&snap.lifecycle_digest()));
+    match snap.lifecycle_consistent() {
+        Ok(()) => {
+            println!("lifecycle/CPI cross-check: consistent");
+            true
+        }
+        Err(e) => {
+            println!("!! lifecycle/CPI cross-check VIOLATED: {e}");
+            false
+        }
+    }
 }
 
 fn main() {
     let mut path: Option<String> = None;
     let mut only_job: Option<u64> = None;
+    let mut lifecycle = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,6 +55,7 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| usage("missing value for --job"));
                 only_job = Some(v.parse().unwrap_or_else(|_| usage("bad --job")));
             }
+            "--lifecycle" => lifecycle = true,
             "--help" | "-h" => usage("help requested"),
             other if other.starts_with("--") => usage(&format!("unknown flag `{other}`")),
             other => {
@@ -74,6 +95,9 @@ fn main() {
                 identity_ok = false;
                 println!("!! top-down CPI identity VIOLATED for job {}", j.index);
             }
+            if lifecycle && !render_lifecycle(&j.perf) {
+                identity_ok = false;
+            }
             println!();
         }
         if rendered == 0 {
@@ -87,6 +111,9 @@ fn main() {
         if !snap.cpi_identity_holds() {
             identity_ok = false;
             println!("!! top-down CPI identity VIOLATED");
+        }
+        if lifecycle && !render_lifecycle(&snap) {
+            identity_ok = false;
         }
     }
     if !identity_ok {

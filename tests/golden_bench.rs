@@ -21,10 +21,15 @@ use workloads::Scale;
 /// uses the default 2e8 budget via scripts/bench.sh.
 const SMOKE_FUEL: u64 = 300_000;
 
+/// Per-workload cycle-model cap for the smoke tier (the committed
+/// report uses the default 2e6 via scripts/bench.sh).
+const SMOKE_CYCLES: u64 = 50_000;
+
 fn smoke_report() -> serde::Value {
     let ps = fig8::measure_personalities(Scale::Test, SMOKE_FUEL);
     let campaign = fig8::measure_campaign("nemu-trace", 4, 1_000_000);
-    fig8::build_report("spec-like-suite@Test", SMOKE_FUEL, &ps, &campaign, 1.0)
+    let cm = fig8::measure_cycle_model(Scale::Test, SMOKE_CYCLES);
+    fig8::build_report("spec-like-suite@Test", SMOKE_FUEL, &ps, &campaign, &cm, 1.0)
 }
 
 #[test]
@@ -35,6 +40,13 @@ fn emitted_report_is_schema_clean() {
     for p in nemu::registry::names() {
         let m = fig8::mips_of(&report, p).expect("every personality has a rate");
         assert!(m.is_finite() && m > 0.0, "{p}: bad rate {m}");
+    }
+    for preset in fig8::CYCLE_PRESETS {
+        let k = fig8::kilocycles_per_sec_of(&report, preset)
+            .expect("every cycle-model preset has a rate");
+        assert!(k.is_finite() && k > 0.0, "{preset}: bad rate {k}");
+        let cpi = fig8::cpi_milli_of(&report, preset).expect("suite CPI");
+        assert!(cpi > 0, "{preset}: zero CPI");
     }
 }
 
@@ -98,4 +110,19 @@ fn committed_report_pins_speed_ordering() {
         trace >= 2.0 * interp,
         "trace tier no longer clears 2x plain interp: {trace:.1} vs {interp:.1} MIPS"
     );
+    // Cycle-model pins: both tracked presets report a sane suite CPI
+    // (an OoO multi-issue core on these kernels sits well inside
+    // 0.2..50 CPI) and a positive simulation rate. The exact CPI is a
+    // deterministic body field, so any change shows up in the diff of
+    // the committed file rather than here.
+    for preset in fig8::CYCLE_PRESETS {
+        let cpi = fig8::cpi_milli_of(&report, preset)
+            .unwrap_or_else(|| panic!("{preset}: missing cycle-model entry"));
+        assert!(
+            (200..50_000).contains(&cpi),
+            "{preset}: suite CPI {cpi} milli-units is implausible"
+        );
+        let k = fig8::kilocycles_per_sec_of(&report, preset).expect("rate");
+        assert!(k > 0.0, "{preset}: bad sim rate {k}");
+    }
 }
