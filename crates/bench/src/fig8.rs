@@ -46,7 +46,11 @@ use xscore::XsConfig;
 ///
 /// v2: adds the `cycle_model` body section (suite cycles / instret /
 /// CPI×1000 per tracked preset) and `timing.sim_kilocycles_per_sec`.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: adds `timing.sim_kilocycles_per_sec_by_workload` (per-preset,
+/// per-workload rates) so the event-driven skipper's gain on the
+/// DRAM-stall-heavy suite entries is measured, not just the aggregate.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Cycle-model presets tracked by the report, in sorted order (the
 /// validator pins the key set, so keep this in sync with the presets
@@ -92,6 +96,10 @@ pub struct CycleModelMeasurement {
     pub cpi_milli: u64,
     /// Simulation throughput, thousand simulated cycles per second.
     pub kilocycles_per_sec: f64,
+    /// Per-workload throughput (workload name, kilocycles/sec): the
+    /// DRAM-stall-heavy entries are where the event-driven skipper
+    /// shows up, so the aggregate alone would hide it.
+    pub per_workload: Vec<(String, f64)>,
 }
 
 /// Passes over the suite per personality: the Test-scale kernels halt
@@ -132,18 +140,34 @@ pub fn measure_personalities(scale: Scale, fuel: u64) -> Vec<PersonalityMeasurem
 /// and `max_cycles` cap, so they live in the deterministic report body;
 /// only the throughput rate is wall-clock-derived.
 pub fn measure_cycle_model(scale: Scale, max_cycles: u64) -> Vec<CycleModelMeasurement> {
+    // A/B knob for the event-driven idle-cycle skipper:
+    // `MINJIE_BENCH_EVENT_DRIVEN=0` forces the tick-by-tick path. The
+    // deterministic body is identical either way (the equivalence suite
+    // pins that); only `timing.sim_kilocycles_per_sec` moves.
+    let event_driven = std::env::var("MINJIE_BENCH_EVENT_DRIVEN")
+        .map(|v| v != "0")
+        .unwrap_or(true);
     CYCLE_PRESETS
         .iter()
         .map(|preset| {
             let mut cycles = 0u64;
             let mut instret = 0u64;
+            let mut per_workload = Vec::new();
             let t0 = Instant::now();
             for w in all_workloads(scale) {
-                let cfg = XsConfig::preset(preset).expect("tracked preset exists");
+                let cfg = XsConfig::preset(preset)
+                    .expect("tracked preset exists")
+                    .with_event_driven(event_driven);
+                let w0 = Instant::now();
                 let stats = minjie::run_isolated(cfg, &w.program, max_cycles, None)
                     .unwrap_or_else(|e| panic!("cycle model panicked on {}: {e}", w.name));
+                let w_elapsed = w0.elapsed().as_secs_f64();
                 cycles += stats.cycles;
                 instret += stats.instret;
+                per_workload.push((
+                    w.name.to_string(),
+                    stats.cycles as f64 / w_elapsed.max(1e-9) / 1e3,
+                ));
             }
             let elapsed = t0.elapsed().as_secs_f64();
             CycleModelMeasurement {
@@ -152,6 +176,7 @@ pub fn measure_cycle_model(scale: Scale, max_cycles: u64) -> Vec<CycleModelMeasu
                 instret,
                 cpi_milli: cycles.saturating_mul(1000) / instret.max(1),
                 kilocycles_per_sec: cycles as f64 / elapsed.max(1e-9) / 1e3,
+                per_workload,
             }
         })
         .collect()
@@ -213,6 +238,7 @@ pub fn build_report(
     camp.insert("halted".into(), Value::U64(campaign.halted));
     let mut cmap = Map::new();
     let mut kcps = Map::new();
+    let mut kcps_by_workload = Map::new();
     for c in cycle_model {
         let mut entry = Map::new();
         entry.insert("cycles".into(), Value::U64(c.cycles));
@@ -220,10 +246,19 @@ pub fn build_report(
         entry.insert("cpi_milli".into(), Value::U64(c.cpi_milli));
         cmap.insert(c.preset.clone(), Value::Object(entry));
         kcps.insert(c.preset.clone(), Value::F64(c.kilocycles_per_sec));
+        let mut per_wl = Map::new();
+        for (name, rate) in &c.per_workload {
+            per_wl.insert(name.clone(), Value::F64(*rate));
+        }
+        kcps_by_workload.insert(c.preset.clone(), Value::Object(per_wl));
     }
     let mut timing = Map::new();
     timing.insert("mips".into(), Value::Object(mips));
     timing.insert("sim_kilocycles_per_sec".into(), Value::Object(kcps));
+    timing.insert(
+        "sim_kilocycles_per_sec_by_workload".into(),
+        Value::Object(kcps_by_workload),
+    );
     timing.insert(
         "campaign_jobs_per_sec".into(),
         Value::F64(campaign.jobs_per_sec),
@@ -347,6 +382,7 @@ pub fn validate(v: &Value) -> Result<(), String> {
             "campaign_jobs_per_sec",
             "mips",
             "sim_kilocycles_per_sec",
+            "sim_kilocycles_per_sec_by_workload",
             "total_ms",
         ],
     )?;
@@ -367,6 +403,32 @@ pub fn validate(v: &Value) -> Result<(), String> {
                 return Err(format!(
                     "timing.sim_kilocycles_per_sec.{preset} must be positive: {other:?}"
                 ))
+            }
+        }
+    }
+    let by_wl = timing.get_or_null("sim_kilocycles_per_sec_by_workload");
+    expect_keys(
+        by_wl,
+        "timing.sim_kilocycles_per_sec_by_workload",
+        &CYCLE_PRESETS,
+    )?;
+    for preset in CYCLE_PRESETS {
+        let entries = by_wl.get_or_null(preset);
+        let names = keys_of(entries);
+        if names.is_empty() {
+            return Err(format!(
+                "timing.sim_kilocycles_per_sec_by_workload.{preset} must name every suite workload"
+            ));
+        }
+        for name in names {
+            match entries.get_or_null(name).as_f64() {
+                Some(r) if r.is_finite() && r > 0.0 => {}
+                other => {
+                    return Err(format!(
+                        "timing.sim_kilocycles_per_sec_by_workload.{preset}.{name} \
+                         must be positive: {other:?}"
+                    ))
+                }
             }
         }
     }
@@ -440,6 +502,10 @@ mod tests {
                 instret: 100_000,
                 cpi_milli: (400_000 + 10_000 * i as u64) * 1000 / 100_000,
                 kilocycles_per_sec: 250.0 / (i + 1) as f64,
+                per_workload: vec![
+                    ("mcf".into(), 900.0 * (i + 1) as f64),
+                    ("namd".into(), 1200.0 * (i + 1) as f64),
+                ],
             })
             .collect();
         build_report("spec-like-suite@Test", 200_000_000, &ps, &c, &cm, 4000.0)

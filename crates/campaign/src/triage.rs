@@ -244,11 +244,14 @@ fn replay_window(start: CoSimState, from_cycle: u64, budget: u64) -> WindowRun {
     let start_cpi = minjie::PerfSnapshot::collect(&cosim.state.sys).cpi_stack();
     let mut error = None;
     let mut at_commit = 0;
-    for _ in 0..budget {
+    // A cycle deadline, not a step count: with the event-driven skipper
+    // on, one step may consume many idle cycles.
+    let deadline = cosim.state.time().saturating_add(budget);
+    while cosim.state.time() < deadline {
         if cosim.state.sys.all_halted() {
             break;
         }
-        match cosim.step_cycle() {
+        match cosim.step_cycle_until(deadline) {
             Ok(()) => {}
             Err(e) => {
                 at_commit = cosim.state.diff.commits_checked;
@@ -415,11 +418,12 @@ pub fn triage_panic(job_index: u64, spec: &JobSpec, message: &str) -> TriageBund
     let mut cosim = CoSim::debug_resume(start);
     let start_cpi = minjie::PerfSnapshot::collect(&cosim.state.sys).cpi_stack();
     let mut replay_panic = None;
-    for _ in 0..max_cycles {
+    let deadline = cosim.state.time().saturating_add(max_cycles);
+    while cosim.state.time() < deadline {
         if cosim.state.sys.all_halted() {
             break;
         }
-        match catch_unwind(AssertUnwindSafe(|| cosim.step_cycle())) {
+        match catch_unwind(AssertUnwindSafe(|| cosim.step_cycle_until(deadline))) {
             Ok(Ok(())) => {}
             // A divergence en route to the panic still ends the window.
             Ok(Err(e)) => {

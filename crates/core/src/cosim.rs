@@ -105,6 +105,8 @@ pub struct CoSim {
     /// Debug mode: record commit/drain events into ArchDB. Slows the
     /// simulation — which is the very reason LightSSS exists.
     pub debug_mode: bool,
+    /// Reused per-step output buffer (keeps the hot loop allocation-free).
+    outs_buf: Vec<xscore::CycleOutput>,
 }
 
 /// Per-table row cap of the bounded trace a debug-mode replay records.
@@ -114,6 +116,11 @@ const REPLAY_TRACE_CAP: usize = 65_536;
 /// `XsConfig::lifecycle` — keeps the newest window so a long run cannot
 /// grow the database without bound.
 const LIFECYCLE_TRACE_CAP: usize = 262_144;
+
+/// Idle-skip bound of a standalone [`CoSim::step_cycle`] call (callers
+/// driving the loop themselves supply their own deadline through
+/// [`CoSim::step_cycle_until`]).
+const MAX_STANDALONE_SKIP: u64 = 1 << 20;
 
 impl CoSim {
     /// Boot a program under co-simulation.
@@ -143,6 +150,7 @@ impl CoSim {
                 ArchDb::new()
             },
             debug_mode: false,
+            outs_buf: Vec::new(),
         }
     }
 
@@ -155,6 +163,7 @@ impl CoSim {
             lightsss: None,
             archdb: ArchDb::bounded(REPLAY_TRACE_CAP),
             debug_mode: true,
+            outs_buf: Vec::new(),
         }
     }
 
@@ -171,14 +180,38 @@ impl CoSim {
 
     /// Advance one cycle, verifying every commit.
     ///
+    /// When the event-driven skipper is on, the step may additionally
+    /// jump over a bounded idle span (see [`CoSim::step_cycle_until`]).
+    ///
     /// # Errors
     ///
     /// The first [`DiffError`] found.
     pub fn step_cycle(&mut self) -> Result<(), DiffError> {
+        // Standalone steps bound the idle skip so a scheduling bug (an
+        // event that was never queued) degrades into early landings
+        // instead of a single jump to the caller's whole budget.
+        let cap = self.state.time().saturating_add(MAX_STANDALONE_SKIP);
+        self.step_cycle_until(cap)
+    }
+
+    /// Advance one cycle, then — when `XsConfig::event_driven` is on and
+    /// no core made progress — skip ahead to just before the next
+    /// scheduled event, but never past `limit` or past the next LightSSS
+    /// snapshot-due cycle (snapshots must be captured at the same cycles
+    /// as a cycle-by-cycle run so their state is byte-identical).
+    ///
+    /// # Errors
+    ///
+    /// The first [`DiffError`] found.
+    pub fn step_cycle_until(&mut self, mut limit: u64) -> Result<(), DiffError> {
         if let Some(l) = &mut self.lightsss {
             l.tick(&self.state);
+            limit = limit.min(l.next_due());
         }
-        let outs = self.state.sys.tick();
+        // Temporarily take the scratch buffer so the borrow checker sees
+        // disjoint access to `state.sys` and the rest of `self` below.
+        let mut outs = std::mem::take(&mut self.outs_buf);
+        self.state.sys.tick_skipping_into(limit, &mut outs);
         // Commits are checked before this cycle's drains are applied to
         // the Global Memory: a value read by a committed instruction
         // predates stores that reach memory in the same cycle.
@@ -210,16 +243,22 @@ impl CoSim {
                 self.archdb.insert("lifecycle", rec.end_cycle(), &rec);
             }
         }
+        // An early `?` above forfeits the buffer — fine, errors end the run.
+        self.outs_buf = outs;
         Ok(())
     }
 
     /// Run to completion, with automatic LightSSS replay on a bug.
+    ///
+    /// `max_cycles` is a simulated-cycle budget (not a step count): with
+    /// the event-driven skipper on, one step may consume many cycles.
     pub fn run(&mut self, max_cycles: u64) -> CoSimEnd {
-        for _ in 0..max_cycles {
+        let deadline = self.state.time().saturating_add(max_cycles);
+        while self.state.time() < deadline {
             if self.state.sys.all_halted() {
                 return CoSimEnd::Halted(self.state.sys.cores[0].halted.unwrap_or(0));
             }
-            if let Err(error) = self.step_cycle() {
+            if let Err(error) = self.step_cycle_until(deadline) {
                 let at_cycle = self.state.time();
                 let at_commit = self.state.diff.commits_checked;
                 let replay = self.replay(&error);
@@ -260,11 +299,12 @@ impl CoSim {
         let start_cpi = crate::telemetry::PerfSnapshot::collect(&replayed.state.sys).cpi_stack();
         let mut reproduced = false;
         let mut at_commit = 0;
-        for _ in 0..budget {
+        let deadline = replayed.state.time().saturating_add(budget);
+        while replayed.state.time() < deadline {
             if replayed.state.sys.all_halted() {
                 break;
             }
-            match replayed.step_cycle() {
+            match replayed.step_cycle_until(deadline) {
                 Ok(()) => {}
                 Err(e) => {
                     reproduced = &e == original;

@@ -95,6 +95,17 @@ impl<S: Snapshotable> LightSss<S> {
         true
     }
 
+    /// The next cycle at which [`LightSss::tick`] will capture a
+    /// snapshot. The event-driven cycle skipper clamps idle-span jumps to
+    /// land exactly on this cycle, so snapshots are taken at the same
+    /// cycles — with the same captured state — as a cycle-by-cycle run.
+    pub fn next_due(&self) -> u64 {
+        match self.last_at {
+            None => self.interval,
+            Some(last) => last + self.interval,
+        }
+    }
+
     /// The older of the two retained snapshots (the replay start point:
     /// at most `2 * interval` cycles before the failure).
     pub fn oldest(&self) -> Option<&Snapshot<S>> {

@@ -69,6 +69,19 @@ impl Hist {
         self.max = self.max.max(value);
     }
 
+    /// Record `n` identical samples in one update. Equivalent to calling
+    /// [`Hist::record`] `n` times; used to bulk-charge skipped idle spans
+    /// where the sampled occupancy is provably constant.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(value)] += n;
+        self.samples += n;
+        self.sum += value * n;
+        self.max = self.max.max(value);
+    }
+
     /// Mean of the recorded samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.samples == 0 {
@@ -128,6 +141,23 @@ mod tests {
         assert_eq!(h.counts[1], 2);
         assert_eq!(h.counts[3], 1); // 6 in 4..7
         assert!((h.mean() - 9.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Hist::new();
+        bulk.record(3);
+        bulk.record_n(6, 5);
+        bulk.record_n(0, 2);
+        bulk.record_n(9, 0); // no-op
+        let mut single = Hist::new();
+        single.record(3);
+        for _ in 0..5 {
+            single.record(6);
+        }
+        single.record(0);
+        single.record(0);
+        assert_eq!(bulk, single);
     }
 
     #[test]

@@ -194,6 +194,26 @@ impl MemSystem {
         self.cycle
     }
 
+    /// The earliest future cycle at which anything in the hierarchy acts:
+    /// the next in-flight message delivery or core-visible completion.
+    /// `None` when the memory system is fully quiescent.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let wheel = self.wheel.peek().map(|m| m.at);
+        let done = self.done.peek().map(|c| c.0.at);
+        match (wheel, done) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Advance the clock by `n` cycles with no deliveries. Only sound when
+    /// the caller has proven nothing is due in `(cycle, cycle + n]` — i.e.
+    /// `next_event_cycle()` is `None` or `> cycle + n`.
+    pub fn advance_idle(&mut self, n: u64) {
+        debug_assert!(self.next_event_cycle().map_or(true, |e| e > self.cycle + n));
+        self.cycle += n;
+    }
+
     /// Submit a data-side request for `core`. Returns false when the L1D
     /// cannot accept it this cycle (retry later).
     ///

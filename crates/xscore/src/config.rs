@@ -153,6 +153,12 @@ pub struct XsConfig {
     /// stepper. A string rather than an enum: xscore cannot depend on
     /// the interpreter crate, so resolution happens in the co-sim layer.
     pub ref_model: Option<String>,
+    /// Event-driven idle-cycle skipping: when every core's tick is a
+    /// provable no-op, jump the clock to the next scheduled event and
+    /// bulk-charge the skipped span. Architecturally invisible (see
+    /// DESIGN §5g); the knob exists so the equivalence suite can force
+    /// the cycle-by-cycle path.
+    pub event_driven: bool,
 }
 
 impl XsConfig {
@@ -202,6 +208,7 @@ impl XsConfig {
             coverage: false,
             lifecycle: false,
             ref_model: None,
+            event_driven: true,
         }
     }
 
@@ -249,6 +256,7 @@ impl XsConfig {
             coverage: false,
             lifecycle: false,
             ref_model: None,
+            event_driven: true,
         }
     }
 
@@ -348,6 +356,12 @@ impl XsConfig {
     /// Select the DiffTest REF personality by name.
     pub fn with_ref_model(mut self, name: impl Into<String>) -> Self {
         self.ref_model = Some(name.into());
+        self
+    }
+
+    /// Force the idle-cycle skipper on or off (equivalence suite knob).
+    pub fn with_event_driven(mut self, on: bool) -> Self {
+        self.event_driven = on;
         self
     }
 

@@ -25,7 +25,8 @@ use riscv_isa::mmu::AccessType;
 use riscv_isa::op::{DecodedInst, FuClass, Op};
 use riscv_isa::state::ArchState;
 use riscv_isa::trap::{Exception, Trap};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 use uncore::{AccessKind, Completion, CoreReq, MemSystem};
 
@@ -45,7 +46,10 @@ impl PhysMem for CoherentView<'_> {
     fn read(&mut self, addr: u64, buf: &mut [u8]) {
         let mut off = 0;
         while off < buf.len() {
-            let n = (8 - (addr + off as u64) % 8).min((buf.len() - off) as u64) as usize;
+            // saturating: `off` can never exceed `buf.len()` here, but an
+            // end-of-segment straddle must clamp rather than wrap to a
+            // huge span if the loop condition ever changes.
+            let n = (8 - (addr + off as u64) % 8).min(buf.len().saturating_sub(off) as u64) as usize;
             let v = self.0.coherent_read(addr + off as u64, n as u64);
             buf[off..off + n].copy_from_slice(&v.to_le_bytes()[..n]);
             off += n;
@@ -83,6 +87,125 @@ enum MemReqKind {
     AtomicStore,
 }
 
+/// Marks a request id as an instruction fetch (fetch ids are matched
+/// against `pending_fetch` directly and never enter the data arena).
+const FETCH_ID_FLAG: u64 = 1 << 55;
+
+/// Upper bound on the number of distributed issue queues, sizing the
+/// per-cycle selection buffer in [`Core::issue`].
+const MAX_IQS: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct InflightSlot {
+    gen: u64,
+    kind: MemReqKind,
+    live: bool,
+}
+
+/// Flat slot arena for in-flight data-side requests, replacing the old
+/// `HashMap<u64, MemReqKind>`: O(1) insert/remove with no hashing on the
+/// hot path, fully deterministic iteration order (slot index order), and
+/// ids that encode `hart | generation | slot` so a completion for a
+/// squashed-and-reused slot is recognized as stale by its generation.
+#[derive(Debug, Clone, Default)]
+struct InflightArena {
+    slots: Vec<InflightSlot>,
+    free: Vec<u16>,
+    live: usize,
+}
+
+impl InflightArena {
+    /// Generation bits sit between the slot (low 16) and the fetch flag
+    /// (bit 55): 39 bits, wrapping after 2^39 reuses of one slot.
+    const GEN_MASK: u64 = (1 << 39) - 1;
+
+    fn insert(&mut self, hart: usize, kind: MemReqKind) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let e = &mut self.slots[s as usize];
+                e.gen = (e.gen + 1) & Self::GEN_MASK;
+                e.kind = kind;
+                e.live = true;
+                s
+            }
+            None => {
+                let s = self.slots.len();
+                debug_assert!(s < u16::MAX as usize, "in-flight arena overflow");
+                self.slots.push(InflightSlot {
+                    gen: 0,
+                    kind,
+                    live: true,
+                });
+                s as u16
+            }
+        };
+        self.live += 1;
+        ((hart as u64) << 56) | (self.slots[slot as usize].gen << 16) | slot as u64
+    }
+
+    /// Remove and return the request behind `id`. `None` for fetch ids,
+    /// stale generations (the slot was squashed and reused), and ids
+    /// already removed — exactly the cases the old map lookup missed on.
+    fn remove(&mut self, id: u64) -> Option<MemReqKind> {
+        if id & FETCH_ID_FLAG != 0 {
+            return None;
+        }
+        let slot = (id & 0xffff) as usize;
+        let gen = (id >> 16) & Self::GEN_MASK;
+        let e = self.slots.get_mut(slot)?;
+        if !e.live || e.gen != gen {
+            return None;
+        }
+        e.live = false;
+        self.free.push(slot as u16);
+        self.live -= 1;
+        Some(e.kind)
+    }
+
+    /// Drop every live request for which `keep` returns false (flush
+    /// paths). Iterates in slot order: deterministic by construction.
+    fn retain(&mut self, mut keep: impl FnMut(&MemReqKind) -> bool) {
+        for (i, e) in self.slots.iter_mut().enumerate() {
+            if e.live && !keep(&e.kind) {
+                e.live = false;
+                self.free.push(i as u16);
+                self.live -= 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// Min-heap of future cycles at which this core has scheduled work:
+/// FU completions, load replays, deferred load deliveries, store-buffer
+/// drain deadlines, and fetch-stall expiries. Entries may be stale
+/// (already passed, or for squashed work) — an early wakeup just runs
+/// one provable no-op tick, which is charged identically to a skipped
+/// cycle, so correctness never depends on queue precision.
+#[derive(Debug, Clone, Default)]
+struct EventQueue(BinaryHeap<Reverse<u64>>);
+
+impl EventQueue {
+    fn push(&mut self, at: u64) {
+        self.0.push(Reverse(at));
+    }
+
+    /// Earliest scheduled cycle strictly after `now`; entries at or
+    /// before `now` are spent and dropped.
+    fn next_after(&mut self, now: u64) -> Option<u64> {
+        while let Some(&Reverse(at)) = self.0.peek() {
+            if at > now {
+                return Some(at);
+            }
+            self.0.pop();
+        }
+        None
+    }
+}
+
 /// Why the pipeline is inside a flush-recovery window (set at the flush,
 /// cleared at the first subsequent commit). Drives CPI-stack attribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +217,21 @@ enum RecoveryKind {
     Serialize,
     /// Memory-order-violation replay.
     MemViolation,
+}
+
+/// The dominant idle cause the CPI attributor charges empty commit
+/// slots to — one CPI-stack component per variant. Factored out of the
+/// per-tick attributor so skipped idle spans charge through the exact
+/// same decision chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdleCause {
+    Other,
+    Serialization,
+    MispredictRecovery,
+    MemoryStall,
+    RobFull,
+    IqFull,
+    FrontendStarved,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,7 +248,7 @@ enum CommitStall {
 }
 
 /// Output of one core cycle.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CycleOutput {
     /// Instructions committed this cycle (probe events).
     pub commits: Vec<CommitEvent>,
@@ -150,9 +288,24 @@ pub struct Core {
     ibuf: VecDeque<PreUop>,
     // Execution.
     fu_pipe: Vec<FuInFlight>,
-    mem_inflight: HashMap<u64, MemReqKind>,
+    /// Earliest `done_at` in `fu_pipe`; lets [`Core::writeback`] skip
+    /// scanning the pipe on cycles where nothing can complete.
+    fu_pipe_min: u64,
+    /// Reusable scratch for the due-this-cycle writeback batch.
+    wb_scratch: Vec<FuInFlight>,
+    mem_inflight: InflightArena,
+    /// Fetch request id counter (data-side ids come from the arena).
     next_req: u64,
     replay_q: Vec<(u64, u64)>, // (retry_at, seq)
+    /// Scheduled future work, for idle-cycle skipping (DESIGN §5g).
+    events: EventQueue,
+    /// Whether the tick in progress changed any core state. A tick that
+    /// ends with this false is a provable no-op that repeats identically
+    /// until the next scheduled event lands.
+    tick_progress: bool,
+    /// ALU ready count observed by the last `issue()` call, so skipped
+    /// idle spans can bulk-replicate the Fig. 15 histogram sample.
+    last_ready_alu: usize,
     // Atomics.
     reservation: Option<u64>,
     lr_cycle: u64,
@@ -241,9 +394,14 @@ impl Core {
             fetch_epoch: 0,
             ibuf: VecDeque::new(),
             fu_pipe: Vec::new(),
-            mem_inflight: HashMap::new(),
+            fu_pipe_min: u64::MAX,
+            wb_scratch: Vec::new(),
+            mem_inflight: InflightArena::default(),
             next_req: 0,
             replay_q: Vec::new(),
+            events: EventQueue::default(),
+            tick_progress: false,
+            last_ready_alu: 0,
             reservation: None,
             lr_cycle: 0,
             commit_stall: CommitStall::None,
@@ -357,10 +515,7 @@ impl Core {
     }
 
     fn req_id(&mut self, kind: MemReqKind) -> u64 {
-        self.next_req += 1;
-        let id = ((self.hart as u64) << 48) | self.next_req;
-        self.mem_inflight.insert(id, kind);
-        id
+        self.mem_inflight.insert(self.hart, kind)
     }
 
     // ------------------------------------------------------------------
@@ -400,6 +555,11 @@ impl Core {
         self.fetch_pc = s.pc;
         self.rat_int = self.arat_int;
         self.rat_fp = self.arat_fp;
+        // A reservation acquired before the restore (e.g. by a replayed
+        // LR on the pre-rollback path) must not give a post-restore SC a
+        // stale success window.
+        self.reservation = None;
+        self.lr_cycle = 0;
         self.mmu.flush();
     }
 
@@ -425,20 +585,41 @@ impl Core {
 
     /// Advance one cycle.
     pub fn tick(&mut self, mem: &mut MemSystem, completions: &[Completion]) -> CycleOutput {
+        let mut out = CycleOutput::default();
+        self.tick_into(mem, completions, &mut out);
+        out
+    }
+
+    /// Advance one cycle, writing the outputs into a caller-owned buffer
+    /// (cleared first). Reusing one buffer across cycles keeps the hot
+    /// loop free of per-cycle heap churn — the commit/drain vectors keep
+    /// their steady-state capacity.
+    pub fn tick_into(
+        &mut self,
+        mem: &mut MemSystem,
+        completions: &[Completion],
+        out: &mut CycleOutput,
+    ) {
+        out.commits.clear();
+        out.drains.clear();
         self.cycle += 1;
         self.perf.cycles += 1;
-        let mut out = CycleOutput::default();
+        self.tick_progress = false;
         if self.is_halted() {
             // Keep the CPI identity over the whole run: a halted core's
             // commit slots all idle.
             self.perf.cpi.other += self.cfg.commit_width as u64;
-            return out;
+            return;
+        }
+        if !completions.is_empty() {
+            // Even a completion for squashed work consumed queue state.
+            self.tick_progress = true;
         }
         self.rename_blocked_rob = false;
         self.rename_blocked_iq = false;
-        self.handle_mem_completions(mem, completions, &mut out);
+        self.handle_mem_completions(mem, completions, out);
         self.writeback();
-        self.commit(mem, &mut out);
+        self.commit(mem, out);
         self.replay_loads(mem);
         self.issue(mem);
         self.rename_dispatch();
@@ -449,7 +630,6 @@ impl Core {
         out.commits.append(&mut self.deferred_commits);
         out.drains.append(&mut self.deferred_drains);
         self.attribute_cycle(mem, out.commits.len() as u64);
-        out
     }
 
     /// Top-down CPI attribution: charge exactly `commit_width` slots this
@@ -459,19 +639,7 @@ impl Core {
     fn attribute_cycle(&mut self, mem: &MemSystem, committed: u64) {
         let width = self.cfg.commit_width as u64;
         if self.cfg.telemetry {
-            self.perf.rob_occupancy.record(self.rob.len() as u64);
-            self.perf
-                .iq_alu_occupancy
-                .record((self.iqs[0].len() + self.iqs[1].len()) as u64);
-            self.perf
-                .iq_ls_occupancy
-                .record((self.iqs[3].len() + self.iqs[4].len()) as u64);
-            self.perf
-                .sbuffer_occupancy
-                .record(self.lsu.sbuffer.len() as u64);
-            self.perf
-                .l1d_mshr_occupancy
-                .record(mem.l1d_active_txns(self.hart) as u64);
+            self.record_occupancies(mem, 1);
         }
         let retired = committed.min(width);
         self.perf.cpi.retired += retired;
@@ -479,49 +647,153 @@ impl Core {
         if empty == 0 {
             return;
         }
-        // One dominant cause per cycle, most specific first.
-        let slot = if self.is_halted() {
-            &mut self.perf.cpi.other
+        let cause = self.idle_cause();
+        *self.cause_slot(cause) += empty;
+    }
+
+    /// The single dominant reason the commit stage idles this cycle,
+    /// most specific first. Pure: reads the same state whether evaluated
+    /// on a live tick or over a skipped idle span (where that state is
+    /// provably frozen).
+    fn idle_cause(&self) -> IdleCause {
+        if self.is_halted() {
+            IdleCause::Other
         } else if self.commit_stall != CommitStall::None {
             // Atomic executing at the commit point.
-            &mut self.perf.cpi.serialization
+            IdleCause::Serialization
         } else if self.recovery != RecoveryKind::None {
             match self.recovery {
-                RecoveryKind::Mispredict => &mut self.perf.cpi.mispredict_recovery,
-                RecoveryKind::MemViolation => &mut self.perf.cpi.memory_stall,
-                _ => &mut self.perf.cpi.serialization,
+                RecoveryKind::Mispredict => IdleCause::MispredictRecovery,
+                RecoveryKind::MemViolation => IdleCause::MemoryStall,
+                _ => IdleCause::Serialization,
             }
         } else if let Some(head) = self.rob.head() {
             if head.exception.is_some() || head.commit_exec {
-                &mut self.perf.cpi.serialization
+                IdleCause::Serialization
             } else if head.state != RobState::Done && head.lq_idx.is_some() {
                 // Load at the head still in flight.
-                &mut self.perf.cpi.memory_stall
+                IdleCause::MemoryStall
             } else if head.state == RobState::Done
                 && head.sq_idx.is_some()
                 && self.lsu.sbuffer_full()
             {
                 // Store ready but the store buffer is full.
-                &mut self.perf.cpi.memory_stall
+                IdleCause::MemoryStall
             } else if head.state != RobState::Done {
                 // Executing (ALU/FPU latency, issue wait).
-                &mut self.perf.cpi.other
+                IdleCause::Other
             } else if self.rename_blocked_rob {
-                &mut self.perf.cpi.rob_full
+                IdleCause::RobFull
             } else if self.rename_blocked_iq {
-                &mut self.perf.cpi.iq_full
+                IdleCause::IqFull
             } else {
-                &mut self.perf.cpi.other
+                IdleCause::Other
             }
         } else if self.rename_blocked_rob {
-            &mut self.perf.cpi.rob_full
+            IdleCause::RobFull
         } else if self.rename_blocked_iq {
-            &mut self.perf.cpi.iq_full
+            IdleCause::IqFull
         } else {
             // Empty ROB and rename had nothing: the frontend starved us.
-            &mut self.perf.cpi.frontend_starved
+            IdleCause::FrontendStarved
+        }
+    }
+
+    fn cause_slot(&mut self, cause: IdleCause) -> &mut u64 {
+        match cause {
+            IdleCause::Other => &mut self.perf.cpi.other,
+            IdleCause::Serialization => &mut self.perf.cpi.serialization,
+            IdleCause::MispredictRecovery => &mut self.perf.cpi.mispredict_recovery,
+            IdleCause::MemoryStall => &mut self.perf.cpi.memory_stall,
+            IdleCause::RobFull => &mut self.perf.cpi.rob_full,
+            IdleCause::IqFull => &mut self.perf.cpi.iq_full,
+            IdleCause::FrontendStarved => &mut self.perf.cpi.frontend_starved,
+        }
+    }
+
+    /// Record `n` cycles of occupancy telemetry at the current values.
+    fn record_occupancies(&mut self, mem: &MemSystem, n: u64) {
+        self.perf.rob_occupancy.record_n(self.rob.len() as u64, n);
+        self.perf
+            .iq_alu_occupancy
+            .record_n((self.iqs[0].len() + self.iqs[1].len()) as u64, n);
+        self.perf
+            .iq_ls_occupancy
+            .record_n((self.iqs[3].len() + self.iqs[4].len()) as u64, n);
+        self.perf
+            .sbuffer_occupancy
+            .record_n(self.lsu.sbuffer.len() as u64, n);
+        self.perf
+            .l1d_mshr_occupancy
+            .record_n(mem.l1d_active_txns(self.hart) as u64, n);
+    }
+
+    /// True when the tick just executed changed any core state. A false
+    /// return proves the next ticks repeat identically until the next
+    /// scheduled event (core or memory) lands.
+    pub(crate) fn made_progress(&self) -> bool {
+        self.tick_progress
+    }
+
+    /// The earliest future cycle at which this core has scheduled work.
+    /// `None` for a halted core (nothing it schedules matters anymore)
+    /// or when no work is queued. May be early (stale or squashed
+    /// entries) but never late: every state transition that would end a
+    /// no-op streak has an entry here or in the memory system's queues.
+    pub(crate) fn next_event_cycle(&mut self) -> Option<u64> {
+        if self.is_halted() {
+            return None;
+        }
+        // Hot per-issue work deliberately never touches the event heap;
+        // its completion times are folded in here from the flat state
+        // the pipeline already maintains (this path only runs after a
+        // provable no-op tick, so the scans are off the hot path).
+        let mut next = self.events.next_after(self.cycle);
+        let mut fold = |v: u64| match next {
+            Some(n) if n <= v => {}
+            _ => next = Some(v),
         };
-        *slot += empty;
+        if !self.fu_pipe.is_empty() {
+            fold(self.fu_pipe_min);
+        }
+        for &(at, _) in &self.replay_q {
+            fold(at);
+        }
+        for &(at, _, _) in &self.deferred_loads {
+            fold(at);
+        }
+        next
+    }
+
+    /// Bulk-charge `n` skipped cycles, reproducing exactly what `n`
+    /// repeats of the preceding no-op tick would have recorded: cycle
+    /// and CPI-stack totals (preserving `sum == cycles × width`), the
+    /// Fig. 15 ready histogram, ROB-full stall cycles, occupancy
+    /// telemetry at the frozen values, and the cycle CSRs. Only sound
+    /// when that tick made no progress and no event lands in the span.
+    pub(crate) fn charge_idle_cycles(&mut self, mem: &MemSystem, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cycle += n;
+        self.perf.cycles += n;
+        let width = self.cfg.commit_width as u64;
+        if self.is_halted() {
+            // Mirror the halted tick: all slots idle, CSRs frozen.
+            self.perf.cpi.other += width * n;
+            return;
+        }
+        if self.rename_blocked_rob {
+            self.perf.rob_full_cycles += n;
+        }
+        self.perf.record_ready_n(self.last_ready_alu, n);
+        self.csr.mcycle = self.cycle;
+        self.csr.time = self.cycle;
+        if self.cfg.telemetry {
+            self.record_occupancies(mem, n);
+        }
+        let cause = self.idle_cause();
+        *self.cause_slot(cause) += width * n;
     }
 
     // ------------------------------------------------------------------
@@ -545,7 +817,7 @@ impl Core {
                     continue;
                 }
             }
-            let Some(kind) = self.mem_inflight.remove(&c.req.id) else {
+            let Some(kind) = self.mem_inflight.remove(c.req.id) else {
                 continue; // squashed request
             };
             match kind {
@@ -627,42 +899,63 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn writeback(&mut self) {
-        let mut due: Vec<FuInFlight> = Vec::new();
+        // Nothing in flight completes before `fu_pipe_min`: skip the
+        // scan (and the scratch churn) on cycles with nothing due.
+        if self.fu_pipe.is_empty() || self.cycle < self.fu_pipe_min {
+            return;
+        }
+        let cycle = self.cycle;
+        let mut due = std::mem::take(&mut self.wb_scratch);
+        due.clear();
+        let mut min = u64::MAX;
         self.fu_pipe.retain(|f| {
-            if f.done_at <= self.cycle {
+            if f.done_at <= cycle {
                 due.push(*f);
                 false
             } else {
+                min = min.min(f.done_at);
                 true
             }
         });
-        due.sort_by_key(|f| f.seq);
-        for f in due {
+        self.fu_pipe_min = min;
+        if !due.is_empty() {
+            self.tick_progress = true;
+        }
+        // Unique seqs: unstable sort is deterministic here.
+        due.sort_unstable_by_key(|f| f.seq);
+        for f in &due {
             if self.rob.get(f.seq).is_none() {
                 continue; // squashed
             }
             self.execute_and_writeback(f.seq);
         }
+        self.wb_scratch = due;
     }
 
     /// Compute the result of a (non-memory) uop and write it back.
     fn execute_and_writeback(&mut self, seq: u64) {
         let e = self.rob.get(seq).expect("entry exists");
-        let uop = e.uop.clone();
-        let d = uop.inst;
-        let srcs: Vec<u64> = e
-            .phys_srcs
-            .iter()
-            .flatten()
-            .map(|&(fp, p)| self.read_src(fp, p))
-            .collect();
-        let v = |i: usize| srcs.get(i).copied().unwrap_or(0);
+        // Copy the plain-data fields instead of cloning the uop: the
+        // clone would drag the branch prediction's RAS snapshot Vec
+        // through the allocator on every writeback.
+        let d = e.uop.inst;
+        let fused = e.uop.fused;
+        let pc = e.uop.pc;
+        let predicted_npc = e.uop.predicted_npc;
+        let fallthrough = e.uop.fallthrough();
+        let mut srcs = [0u64; 3];
+        let mut nsrcs = 0usize;
+        for &(fp, p) in e.phys_srcs.iter().flatten() {
+            srcs[nsrcs] = self.read_src(fp, p);
+            nsrcs += 1;
+        }
+        let v = |i: usize| if i < nsrcs { srcs[i] } else { 0 };
 
         let mut value = 0u64;
         let mut fflags = 0u64;
         let mut taken = false;
         let mut target = 0u64;
-        if let Some(b) = uop.fused {
+        if let Some(b) = fused {
             let (v1, vo) = if d.op == Op::Lui {
                 (0, v(0))
             } else {
@@ -671,17 +964,17 @@ impl Core {
             value = exec_fused(&d, &b, v1, vo);
         } else if d.is_branch() {
             taken = branch_taken(d.op, v(0), v(1));
-            target = uop.pc.wrapping_add(d.imm as u64);
+            target = pc.wrapping_add(d.imm as u64);
         } else if d.op == Op::Jal {
             taken = true;
-            target = uop.pc.wrapping_add(d.imm as u64);
-            value = uop.fallthrough();
+            target = pc.wrapping_add(d.imm as u64);
+            value = fallthrough;
         } else if d.op == Op::Jalr {
             taken = true;
             target = v(0).wrapping_add(d.imm as u64) & !1;
-            value = uop.fallthrough();
+            value = fallthrough;
         } else if d.op == Op::Auipc {
-            value = uop.pc.wrapping_add(d.imm as u64);
+            value = pc.wrapping_add(d.imm as u64);
         } else if d.op == Op::Lui {
             value = d.imm as u64;
         } else if let Some(r) = int_compute(
@@ -697,8 +990,8 @@ impl Core {
         } else {
             // Floating point through the host FPU.
             let a = v(0);
-            let b = if srcs.len() > 1 { v(1) } else { 0 };
-            let c = if srcs.len() > 2 { v(2) } else { 0 };
+            let b = if nsrcs > 1 { v(1) } else { 0 };
+            let c = if nsrcs > 2 { v(2) } else { 0 };
             let rm = if d.rm == 7 { self.csr.frm() } else { d.rm };
             let r = fp_execute(d.op, a, b, c, rm);
             value = r.bits;
@@ -725,9 +1018,9 @@ impl Core {
             }
         }
         // Branch resolution.
-        if uop.inst.is_control_flow() {
-            let actual_npc = if taken { target } else { uop.fallthrough() };
-            if actual_npc != uop.predicted_npc {
+        if d.is_control_flow() {
+            let actual_npc = if taken { target } else { fallthrough };
+            if actual_npc != predicted_npc {
                 self.resolve_mispredict(seq, actual_npc, taken, target);
             }
         }
@@ -775,7 +1068,7 @@ impl Core {
         }
         self.fu_pipe.retain(|f| f.seq <= seq);
         self.mem_inflight
-            .retain(|_, k| !matches!(k, MemReqKind::Load { seq: s } if *s > seq));
+            .retain(|k| !matches!(k, MemReqKind::Load { seq: s } if *s > seq));
         self.replay_q.retain(|&(_, s)| s <= seq);
         self.lsu.flush_after(seq);
         self.redirect_fetch(new_pc, 2);
@@ -801,8 +1094,9 @@ impl Core {
             iq.flush_all();
         }
         self.fu_pipe.clear();
+        self.fu_pipe_min = u64::MAX;
         self.mem_inflight
-            .retain(|_, k| !matches!(k, MemReqKind::Load { .. }));
+            .retain(|k| !matches!(k, MemReqKind::Load { .. }));
         self.replay_q.clear();
         self.lsu.flush_all_speculative();
         self.redirect_fetch(new_pc, 3);
@@ -817,6 +1111,8 @@ impl Core {
         self.ibuf.clear();
         self.fetch_fault_pending = false;
         self.fetch_stall_until = self.cycle + bubble;
+        self.events.push(self.fetch_stall_until);
+        self.tick_progress = true;
     }
 
     // ------------------------------------------------------------------
@@ -870,6 +1166,7 @@ impl Core {
 
     fn retire(&mut self, mut e: crate::rob::RobEntry, out: &mut CycleOutput) {
         let seq = e.seq;
+        self.tick_progress = true;
         if self.recovery != RecoveryKind::None && seq > self.recovery_seq {
             self.recovery = RecoveryKind::None;
         }
@@ -909,6 +1206,7 @@ impl Core {
             } else {
                 self.lsu
                     .commit_store(seq, self.cycle, self.cfg.sbuffer_drain_delay);
+                self.events.push(self.cycle + self.cfg.sbuffer_drain_delay);
             }
         }
         // Branch training (at commit, if not already resolved).
@@ -1003,6 +1301,7 @@ impl Core {
                 return;
             }
             self.commit_stall = CommitStall::AtomicDrain;
+            self.tick_progress = true;
             self.advance_atomic(mem, out);
             return;
         }
@@ -1099,6 +1398,7 @@ impl Core {
                 }
                 let a0 = self.prf_int.read(self.arat_int[10]);
                 self.halted = Some(a0);
+                self.tick_progress = true;
                 out.commits.push(CommitEvent {
                     hart: self.hart,
                     pc: uop.pc,
@@ -1193,6 +1493,7 @@ impl Core {
     fn advance_atomic(&mut self, mem: &mut MemSystem, out: &mut CycleOutput) {
         let Some(head) = self.rob.head() else {
             self.commit_stall = CommitStall::None;
+            self.tick_progress = true;
             return;
         };
         let seq = head.seq;
@@ -1210,6 +1511,9 @@ impl Core {
                 if !self.lsu.sbuffer_empty() {
                     return; // wait for committed stores to reach memory
                 }
+                // Past the drain everything below mutates state (fault,
+                // SC resolution, or a submit attempt retried every tick).
+                self.tick_progress = true;
                 if addr % size != 0 {
                     self.commit_stall = CommitStall::None;
                     self.fault_head(Exception::StoreAddrMisaligned, addr, out);
@@ -1282,10 +1586,12 @@ impl Core {
                         self.lr_cycle = self.cycle;
                     }
                 } else {
-                    self.mem_inflight.remove(&id);
+                    self.mem_inflight.remove(id);
                 }
             }
             CommitStall::AtomicStorePending { old, newv, pa, size } => {
+                // A submit attempt every tick, successful or not.
+                self.tick_progress = true;
                 let id = self.req_id(MemReqKind::AtomicStore);
                 let req = CoreReq {
                     core: self.hart,
@@ -1298,7 +1604,7 @@ impl Core {
                 if mem.submit_data(req) {
                     self.commit_stall = CommitStall::AtomicStore { old, pa, size, newv };
                 } else {
-                    self.mem_inflight.remove(&id);
+                    self.mem_inflight.remove(id);
                 }
             }
             CommitStall::AtomicLoad { .. } | CommitStall::AtomicStore { .. } => {
@@ -1363,7 +1669,7 @@ impl Core {
         if mem.submit_data(req) {
             self.commit_stall = CommitStall::AtomicStore { old, pa, size, newv };
         } else {
-            self.mem_inflight.remove(&id);
+            self.mem_inflight.remove(id);
         }
     }
 
@@ -1425,53 +1731,50 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn issue(&mut self, mem: &mut MemSystem) {
-        let mut selected: Vec<(FuClass, Vec<u64>)> = Vec::new();
         let mut ready_alu_total = 0usize;
-        // Borrow dance: collect per-queue selections first.
-        let mut picks: Vec<(usize, Vec<u64>, usize)> = Vec::new();
-        for qi in 0..self.iqs.len() {
-            let rob = &self.rob;
+        // Stack buffer for this cycle's selections (one slot per queue):
+        // readiness comes from the entry's own renamed sources against
+        // the PRF ready bitmaps, so selection never touches the ROB.
+        let mut selected = [(FuClass::Alu, crate::issue::Picks::default()); MAX_IQS];
+        let nq = self.iqs.len();
+        debug_assert!(nq <= MAX_IQS);
+        {
             let prf_int = &self.prf_int;
             let prf_fp = &self.prf_fp;
-            let (picked, ready) = self.iqs[qi].select(|seq| {
-                let Some(e) = rob.get(seq) else { return false };
-                if e.state != RobState::Waiting {
-                    return false;
+            let epoch = prf_int.epoch() + prf_fp.epoch();
+            for (qi, q) in self.iqs.iter_mut().enumerate() {
+                let (picked, ready) = q.select(epoch, |e| {
+                    e.srcs.iter().flatten().all(|&(fp, p)| {
+                        if fp {
+                            prf_fp.is_ready(p)
+                        } else {
+                            prf_int.is_ready(p)
+                        }
+                    })
+                });
+                if q.class == FuClass::Alu {
+                    ready_alu_total += ready;
                 }
-                e.phys_srcs.iter().flatten().all(|&(fp, p)| {
-                    if fp {
-                        prf_fp.is_ready(p)
-                    } else {
-                        prf_int.is_ready(p)
-                    }
-                })
-            });
-            picks.push((qi, picked, ready));
-        }
-        for (qi, picked, ready) in picks {
-            if self.iqs[qi].class == FuClass::Alu {
-                ready_alu_total += ready;
+                selected[qi] = (q.class, picked);
             }
-            selected.push((self.iqs[qi].class, picked));
         }
         self.perf.record_ready(ready_alu_total);
-        for (class, seqs) in selected {
-            for seq in seqs {
-                if self.rob.get(seq).is_none() {
-                    continue;
-                }
-                let e = self.rob.get_mut(seq).expect("entry");
+        self.last_ready_alu = ready_alu_total;
+        for (class, seqs) in &selected[..nq] {
+            for seq in seqs.iter() {
+                let Some(e) = self.rob.get_mut(seq) else { continue };
+                debug_assert_eq!(e.state, RobState::Waiting, "stale IQ entry picked");
+                self.tick_progress = true;
                 e.state = RobState::Issued;
                 e.life.issued = self.cycle;
                 match class {
                     FuClass::Load => self.issue_load(mem, seq),
                     FuClass::Store => self.issue_store(mem, seq),
                     _ => {
-                        let lat = fu_latency(class, &self.rob.get(seq).expect("e").uop.inst);
-                        self.fu_pipe.push(FuInFlight {
-                            done_at: self.cycle + lat,
-                            seq,
-                        });
+                        let lat = fu_latency(*class, &self.rob.get(seq).expect("e").uop.inst);
+                        let done_at = self.cycle + lat;
+                        self.fu_pipe.push(FuInFlight { done_at, seq });
+                        self.fu_pipe_min = self.fu_pipe_min.min(done_at);
                     }
                 }
             }
@@ -1562,7 +1865,7 @@ impl Core {
                     id,
                 };
                 if !mem.submit_data(req) {
-                    self.mem_inflight.remove(&id);
+                    self.mem_inflight.remove(id);
                     let e = self.rob.get_mut(seq).expect("e");
                     e.state = RobState::Waiting;
                     e.life.replays += 1;
@@ -1576,7 +1879,8 @@ impl Core {
     fn fu_finish_load_later(&mut self, seq: u64, value: u64, lat: u64) {
         // Store the value now; deliver at the right time via a small
         // deferred list.
-        self.deferred_loads.push((self.cycle + lat.max(1), seq, value));
+        let at = self.cycle + lat.max(1);
+        self.deferred_loads.push((at, seq, value));
     }
 
     fn issue_store(&mut self, mem: &mut MemSystem, seq: u64) {
@@ -1650,6 +1954,9 @@ impl Core {
             });
             d
         };
+        if !due.is_empty() {
+            self.tick_progress = true;
+        }
         for seq in due {
             if self.rob.get(seq).is_none() {
                 continue;
@@ -1670,6 +1977,9 @@ impl Core {
                 true
             }
         });
+        if !ready.is_empty() {
+            self.tick_progress = true;
+        }
         for (seq, v) in ready {
             if self.rob.get(seq).is_some() {
                 self.finish_load(seq, v);
@@ -1692,6 +2002,7 @@ impl Core {
             }
             // Fetch fault pseudo-op: becomes an exception-carrying entry.
             if let Some((cause, tval)) = front.fault {
+                self.tick_progress = true;
                 let pu = self.ibuf.pop_front().expect("front");
                 let uop = Uop::new(pu.pc, pu.inst, None, pu.npc);
                 let seq = self.rob.push(uop);
@@ -1726,13 +2037,13 @@ impl Core {
             } else {
                 let pu = self.ibuf.pop_front().expect("front");
                 let at = pu.fetched_at;
-                let mut u = Uop::new(pu.pc, pu.inst, pu.pred.clone(), pu.npc);
-                u.pred = pu.pred;
+                let u = Uop::new(pu.pc, pu.inst, pu.pred, pu.npc);
                 (u, at)
             };
             if !self.try_rename_one(uop, fetched_at) {
                 break;
             }
+            self.tick_progress = true;
         }
     }
 
@@ -1891,7 +2202,7 @@ impl Core {
         // Dispatch.
         let eliminated = self.rob.get(seq).expect("e").eliminated;
         if !commit_exec && !eliminated {
-            self.iqs[qi].dispatch(seq, high_priority);
+            self.iqs[qi].dispatch(seq, high_priority, phys_srcs);
         }
         let _ = fused;
         true
@@ -1947,12 +2258,16 @@ impl Core {
         {
             return;
         }
+        // Past the guards the MMU walk below can fill TLBs even when the
+        // L1I later rejects the request, so this tick mutated state.
+        self.tick_progress = true;
         let pc = self.fetch_pc;
         let mut view = CoherentView(mem);
         let pa = match self.mmu.translate(&mut view, &self.csr, pc, AccessType::Fetch) {
             MmuResult::Done { pa, latency } => {
                 if latency > 0 {
                     self.fetch_stall_until = self.cycle + latency;
+                    self.events.push(self.fetch_stall_until);
                 }
                 pa
             }
@@ -1970,7 +2285,7 @@ impl Core {
             }
         };
         let block = pa & !31;
-        let id = ((self.hart as u64) << 48) | 0x8000_0000_0000 | self.next_req;
+        let id = ((self.hart as u64) << 56) | FETCH_ID_FLAG | self.next_req;
         self.next_req += 1;
         if mem.submit_fetch(self.hart, block, id) {
             self.pending_fetch = Some((id, pc, self.fetch_epoch));
@@ -2048,6 +2363,7 @@ impl Core {
                 self.fetch_pc = npc;
                 if !ubtb_hit {
                     self.fetch_stall_until = self.cycle + 2;
+                    self.events.push(self.fetch_stall_until);
                 }
                 return true;
             }
@@ -2077,6 +2393,9 @@ impl Core {
         if head.issued || head.drain_at > cycle {
             return;
         }
+        // A submit attempt (hit or rejected) counts as progress: MSHR
+        // rejection statistics accrue per attempted cycle.
+        self.tick_progress = true;
         let (paddr, size, data) = (head.paddr, head.size, head.data);
         let id = self.req_id(MemReqKind::SbufferDrain);
         let req = CoreReq {
@@ -2090,7 +2409,7 @@ impl Core {
         if mem.submit_data(req) {
             self.lsu.sbuffer.front_mut().expect("head").issued = true;
         } else {
-            self.mem_inflight.remove(&id);
+            self.mem_inflight.remove(id);
         }
     }
 }
@@ -2185,5 +2504,98 @@ fn fu_latency(class: FuClass, d: &DecodedInst) -> u64 {
             _ => 3,
         },
         FuClass::Load | FuClass::Store => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XsConfig;
+    use riscv_isa::mem::{PhysMem, SparseMemory};
+    use riscv_isa::state::ArchState;
+
+    #[test]
+    fn coherent_view_read_straddles_to_the_last_mapped_byte() {
+        let cfg = XsConfig::nh();
+        let base = 0x8000_0000u64;
+        let mut backing = SparseMemory::new();
+        let pat: Vec<u8> = (0u8..16).collect();
+        backing.write(base, &pat);
+        let mut mem = MemSystem::new(cfg.mem_system_config(), cfg.memory.build(), backing);
+        let mut view = CoherentView(&mut mem);
+        // Straddle the 8-byte boundary with a tail chunk shorter than the
+        // alignment span: the span math must clamp to the buffer end, not
+        // run past it.
+        let mut mid = [0u8; 5];
+        view.read(base + 6, &mut mid);
+        assert_eq!(mid, [6, 7, 8, 9, 10]);
+        // A straddling read ending exactly on the last mapped byte.
+        let mut tail = [0u8; 9];
+        view.read(base + 7, &mut tail);
+        assert_eq!(tail, [7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        // Write path round-trips through backing memory.
+        view.write(base + 6, &[0xaa, 0xbb, 0xcc]);
+        let mut back = [0u8; 3];
+        view.read(base + 6, &mut back);
+        assert_eq!(back, [0xaa, 0xbb, 0xcc]);
+    }
+
+    #[test]
+    fn restore_arch_state_invalidates_lr_reservation() {
+        // A reservation acquired on the pre-rollback path (a replayed or
+        // squashed LR) must not give a post-restore SC a stale success
+        // window.
+        let boot = 0x8000_0000u64;
+        let mut core = Core::new(XsConfig::nh(), 0, boot);
+        core.reservation = Some(0x8002_0000 & !(RESERVATION_GRANULE - 1));
+        core.lr_cycle = 42;
+        core.restore_arch_state(&ArchState::new(boot, 0));
+        assert_eq!(core.reservation, None, "stale LR reservation survived restore");
+        assert_eq!(core.lr_cycle, 0, "stale LR timestamp survived restore");
+    }
+
+    #[test]
+    fn inflight_arena_rejects_stale_and_fetch_ids() {
+        let mut a = InflightArena::default();
+        let id0 = a.insert(1, MemReqKind::Load { seq: 7 });
+        assert_eq!(id0 >> 56, 1, "hart tag in the top byte");
+        assert_eq!(a.remove(id0), Some(MemReqKind::Load { seq: 7 }));
+        assert_eq!(a.remove(id0), None, "double completion ignored");
+        // The slot is reused with a bumped generation: the old id is
+        // recognized as stale instead of matching the new request.
+        let id1 = a.insert(1, MemReqKind::SbufferDrain);
+        assert_eq!(id0 & 0xffff, id1 & 0xffff, "slot reused");
+        assert_ne!(id0, id1, "generation distinguishes reuse");
+        assert_eq!(a.remove(id0), None, "stale generation ignored");
+        assert_eq!(a.remove(id1), Some(MemReqKind::SbufferDrain));
+        assert_eq!(a.len(), 0);
+        // Fetch ids never enter the arena.
+        assert_eq!(a.remove(FETCH_ID_FLAG | 3), None);
+    }
+
+    #[test]
+    fn inflight_arena_retain_flushes_in_slot_order() {
+        let mut a = InflightArena::default();
+        let keep = a.insert(0, MemReqKind::Load { seq: 3 });
+        let drop1 = a.insert(0, MemReqKind::Load { seq: 9 });
+        let drain = a.insert(0, MemReqKind::SbufferDrain);
+        a.retain(|k| !matches!(k, MemReqKind::Load { seq } if *seq > 5));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.remove(drop1), None, "flushed entry gone");
+        assert_eq!(a.remove(keep), Some(MemReqKind::Load { seq: 3 }));
+        assert_eq!(a.remove(drain), Some(MemReqKind::SbufferDrain));
+    }
+
+    #[test]
+    fn event_queue_skips_spent_entries() {
+        let mut q = EventQueue::default();
+        q.push(10);
+        q.push(4);
+        q.push(10);
+        q.push(25);
+        assert_eq!(q.next_after(10), Some(25), "entries at or before now are spent");
+        assert_eq!(q.next_after(24), Some(25), "future entry is peeked, not consumed");
+        assert_eq!(q.next_after(25), None);
+        assert_eq!(q.next_after(0), None, "queue drained");
     }
 }

@@ -8,15 +8,78 @@
 //! producers, and a prioritized select (`PriorityIssue`).
 
 use crate::config::IssuePolicy;
+use crate::prf::PReg;
 use riscv_isa::op::FuClass;
 
+/// Upper bound on any queue's per-cycle issue width, so a cycle's
+/// selections fit in a fixed stack buffer ([`Picks`]) instead of a
+/// heap allocation on the hottest loop in the model.
+pub const MAX_ISSUE_WIDTH: usize = 8;
+
 /// One issue-queue entry.
+///
+/// Carries a copy of the uop's renamed sources so the per-cycle
+/// readiness scan probes the PRF ready bitmaps directly instead of
+/// chasing the ROB entry (a binary search over much larger structs).
+/// The copy can never go stale: sources are fixed at rename, and every
+/// ROB flush path removes the queue entry in the same cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IqEntry {
     /// ROB sequence number (age).
     pub seq: u64,
     /// PUBS high-priority mark.
     pub high_priority: bool,
+    /// Renamed sources, `(fp, preg)` per operand slot.
+    pub srcs: [Option<(bool, PReg)>; 3],
+}
+
+/// Up to [`MAX_ISSUE_WIDTH`] selected entries, kept sorted by selection
+/// key — the allocation-free replacement for collect-sort-truncate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Picks {
+    // (deprioritized, seq): the same key the policy sort used. seq is
+    // the payload; keys are unique because seqs are.
+    keys: [(bool, u64); MAX_ISSUE_WIDTH],
+    len: usize,
+}
+
+impl Picks {
+    /// Number of selected entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing was selected.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Selected sequence numbers, best key first.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.keys[..self.len].iter().map(|&(_, s)| s)
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        self.keys[..self.len].iter().any(|&(_, s)| s == seq)
+    }
+
+    /// Keep the `width` smallest keys seen so far (insertion sort into a
+    /// bounded buffer — `width` is a handful at most).
+    fn insert(&mut self, key: (bool, u64), width: usize) {
+        let mut pos = self.len.min(width);
+        while pos > 0 && self.keys[pos - 1] > key {
+            pos -= 1;
+        }
+        if pos >= width {
+            return;
+        }
+        let end = self.len.min(width - 1);
+        for i in (pos..end).rev() {
+            self.keys[i + 1] = self.keys[i];
+        }
+        self.keys[pos] = key;
+        self.len = (self.len + 1).min(width);
+    }
 }
 
 /// A single distributed issue queue.
@@ -29,17 +92,23 @@ pub struct IssueQueue {
     capacity: usize,
     entries: Vec<IqEntry>,
     policy: IssuePolicy,
+    /// A full scan at this PRF wakeup epoch found nothing ready, and the
+    /// queue has not changed since — the scan can be skipped until a
+    /// wakeup or a queue mutation invalidates it.
+    quiescent_at: Option<u64>,
 }
 
 impl IssueQueue {
     /// Create a queue.
     pub fn new(class: FuClass, capacity: usize, width: usize, policy: IssuePolicy) -> Self {
+        assert!(width <= MAX_ISSUE_WIDTH, "issue width {width} over the Picks bound");
         IssueQueue {
             class,
             width,
             capacity,
             entries: Vec::with_capacity(capacity),
             policy,
+            quiescent_at: None,
         }
     }
 
@@ -58,54 +127,67 @@ impl IssueQueue {
         self.entries.is_empty()
     }
 
-    /// Insert a dispatched uop.
+    /// Insert a dispatched uop with its renamed sources.
     ///
     /// # Panics
     ///
     /// Panics when full.
-    pub fn dispatch(&mut self, seq: u64, high_priority: bool) {
+    pub fn dispatch(&mut self, seq: u64, high_priority: bool, srcs: [Option<(bool, PReg)>; 3]) {
         assert!(!self.is_full(), "issue queue overflow");
-        self.entries.push(IqEntry { seq, high_priority });
+        self.entries.push(IqEntry { seq, high_priority, srcs });
+        self.quiescent_at = None;
     }
 
     /// Select up to `width` ready entries and remove them.
     ///
     /// `ready` reports whether an entry's operands are available. Returns
-    /// the selected sequence numbers and the number of entries that were
-    /// ready before selection (the Fig. 15 statistic).
-    pub fn select(&mut self, mut ready: impl FnMut(u64) -> bool) -> (Vec<u64>, usize) {
-        let mut candidates: Vec<IqEntry> = self
-            .entries
-            .iter()
-            .copied()
-            .filter(|e| ready(e.seq))
-            .collect();
-        let ready_count = candidates.len();
-        match self.policy {
-            IssuePolicy::Age => candidates.sort_by_key(|e| e.seq),
-            IssuePolicy::Pubs => {
-                // PriorityIssue: unconfident-branch-slice entries first,
-                // age breaking ties (and ordering within each class).
-                candidates.sort_by_key(|e| (!e.high_priority, e.seq));
-            }
+    /// the selected sequence numbers (best policy key first — oldest for
+    /// AGE, unconfident-branch-slice entries first for PUBS
+    /// [PriorityIssue], age breaking ties) and the number of entries that
+    /// were ready before selection (the Fig. 15 statistic). One pass, no
+    /// allocation: selection keys go through a bounded insertion buffer
+    /// that keeps exactly what collect-sort-truncate kept.
+    ///
+    /// `epoch` is the PRF wakeup epoch ([`crate::prf::Prf::epoch`],
+    /// summed over both register classes): when a scan finds nothing
+    /// ready, the result is cached against it, and re-scans are skipped
+    /// until a wakeup or queue mutation — readiness depends on nothing
+    /// else, so the skip is exact, not heuristic.
+    pub fn select(&mut self, epoch: u64, mut ready: impl FnMut(&IqEntry) -> bool) -> (Picks, usize) {
+        if self.entries.is_empty() || self.quiescent_at == Some(epoch) {
+            return (Picks::default(), 0);
         }
-        let picked: Vec<u64> = candidates
-            .iter()
-            .take(self.width)
-            .map(|e| e.seq)
-            .collect();
-        self.entries.retain(|e| !picked.contains(&e.seq));
-        (picked, ready_count)
+        let mut picks = Picks::default();
+        let mut ready_count = 0usize;
+        for e in &self.entries {
+            if !ready(e) {
+                continue;
+            }
+            ready_count += 1;
+            let key = match self.policy {
+                IssuePolicy::Age => (false, e.seq),
+                IssuePolicy::Pubs => (!e.high_priority, e.seq),
+            };
+            picks.insert(key, self.width);
+        }
+        if !picks.is_empty() {
+            self.entries.retain(|e| !picks.contains(e.seq));
+        } else if ready_count == 0 {
+            self.quiescent_at = Some(epoch);
+        }
+        (picks, ready_count)
     }
 
     /// Remove entries younger than `seq` (flush).
     pub fn flush_after(&mut self, seq: u64) {
         self.entries.retain(|e| e.seq <= seq);
+        self.quiescent_at = None;
     }
 
     /// Remove everything.
     pub fn flush_all(&mut self) {
         self.entries.clear();
+        self.quiescent_at = None;
     }
 
     /// Raise the priority of a specific in-flight entry (PUBS back-
@@ -113,6 +195,7 @@ impl IssueQueue {
     pub fn mark_high_priority(&mut self, seq: u64) {
         if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
             e.high_priority = true;
+            self.quiescent_at = None;
         }
     }
 }
@@ -206,11 +289,11 @@ mod tests {
     #[test]
     fn age_policy_prefers_oldest() {
         let mut iq = q(IssuePolicy::Age);
-        iq.dispatch(5, true);
-        iq.dispatch(3, false);
-        iq.dispatch(9, false);
-        let (picked, ready) = iq.select(|_| true);
-        assert_eq!(picked, vec![3, 5]);
+        iq.dispatch(5, true, [None; 3]);
+        iq.dispatch(3, false, [None; 3]);
+        iq.dispatch(9, false, [None; 3]);
+        let (picked, ready) = iq.select(u64::MAX, |_| true);
+        assert_eq!(picked.iter().collect::<Vec<_>>(), vec![3, 5]);
         assert_eq!(ready, 3);
         assert_eq!(iq.len(), 1);
     }
@@ -218,20 +301,20 @@ mod tests {
     #[test]
     fn pubs_policy_prefers_marked_entries() {
         let mut iq = q(IssuePolicy::Pubs);
-        iq.dispatch(3, false);
-        iq.dispatch(5, false);
-        iq.dispatch(9, true);
-        let (picked, _) = iq.select(|_| true);
-        assert_eq!(picked, vec![9, 3], "priority first, then age");
+        iq.dispatch(3, false, [None; 3]);
+        iq.dispatch(5, false, [None; 3]);
+        iq.dispatch(9, true, [None; 3]);
+        let (picked, _) = iq.select(u64::MAX, |_| true);
+        assert_eq!(picked.iter().collect::<Vec<_>>(), vec![9, 3], "priority first, then age");
     }
 
     #[test]
     fn only_ready_entries_are_selected() {
         let mut iq = q(IssuePolicy::Age);
-        iq.dispatch(1, false);
-        iq.dispatch(2, false);
-        let (picked, ready) = iq.select(|seq| seq == 2);
-        assert_eq!(picked, vec![2]);
+        iq.dispatch(1, false, [None; 3]);
+        iq.dispatch(2, false, [None; 3]);
+        let (picked, ready) = iq.select(u64::MAX, |e| e.seq == 2);
+        assert_eq!(picked.iter().collect::<Vec<_>>(), vec![2]);
         assert_eq!(ready, 1);
         assert_eq!(iq.len(), 1);
     }
@@ -240,22 +323,22 @@ mod tests {
     fn flush_removes_younger() {
         let mut iq = q(IssuePolicy::Age);
         for s in 1..=5 {
-            iq.dispatch(s, false);
+            iq.dispatch(s, false, [None; 3]);
         }
         iq.flush_after(2);
         assert_eq!(iq.len(), 2);
-        let (picked, _) = iq.select(|_| true);
-        assert_eq!(picked, vec![1, 2]);
+        let (picked, _) = iq.select(u64::MAX, |_| true);
+        assert_eq!(picked.iter().collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]
     fn late_priority_marking() {
         let mut iq = q(IssuePolicy::Pubs);
-        iq.dispatch(1, false);
-        iq.dispatch(2, false);
+        iq.dispatch(1, false, [None; 3]);
+        iq.dispatch(2, false, [None; 3]);
         iq.mark_high_priority(2);
-        let (picked, _) = iq.select(|_| true);
-        assert_eq!(picked[0], 2);
+        let (picked, _) = iq.select(u64::MAX, |_| true);
+        assert_eq!(picked.iter().next(), Some(2));
     }
 
     #[test]

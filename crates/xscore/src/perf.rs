@@ -173,6 +173,12 @@ impl PerfCounters {
         self.ready_hist[ready.min(15)] += 1;
     }
 
+    /// Record `n` cycles of the same ready count in one update (bulk
+    /// charge for skipped idle spans, where the count cannot change).
+    pub fn record_ready_n(&mut self, ready: usize, n: u64) {
+        self.ready_hist[ready.min(15)] += n;
+    }
+
     /// Fraction of cycles in which more instructions were ready than the
     /// paper's two-wide issue could service (the §IV-D2 "12.8%" metric).
     pub fn frac_cycles_ready_gt(&self, k: usize) -> f64 {

@@ -16,6 +16,11 @@ pub struct Prf {
     ready: Vec<bool>,
     refcnt: Vec<u32>,
     free: Vec<PReg>,
+    /// Bumped on every ready-bit set (write). Readiness of an in-flight
+    /// source can only go false -> true (a register is recycled only
+    /// after its last reader released it), so an unchanged epoch proves
+    /// an issue queue's readiness scan would repeat its last result.
+    epoch: u64,
 }
 
 impl Prf {
@@ -29,6 +34,7 @@ impl Prf {
             ready: vec![false; n],
             refcnt: vec![0; n],
             free,
+            epoch: 0,
         }
     }
 
@@ -39,6 +45,7 @@ impl Prf {
     /// returns a RAT with every architectural register mapped to freshly
     /// allocated, ready, zero-valued physical registers.
     pub fn reset_rat(&mut self) -> Rat {
+        self.epoch += 1;
         self.ready[0] = true;
         self.refcnt[0] = u32::MAX / 2; // pinned
         let mut rat = [0 as PReg; 32];
@@ -90,7 +97,14 @@ impl Prf {
         if p != Self::ZERO {
             self.value[p as usize] = v;
             self.ready[p as usize] = true;
+            self.epoch += 1;
         }
+    }
+
+    /// Wakeup epoch: changes whenever any ready bit is set.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Read a register's value.

@@ -41,29 +41,88 @@ impl XsSystem {
 
     /// Advance one cycle; returns each core's output.
     pub fn tick(&mut self) -> Vec<CycleOutput> {
+        let mut outs = Vec::new();
+        self.tick_into(&mut outs);
+        outs
+    }
+
+    /// Advance one cycle, writing each core's output into a caller-owned
+    /// buffer (resized to one entry per core, entries cleared). Reusing
+    /// one buffer across cycles keeps the driver loop allocation-free.
+    pub fn tick_into(&mut self, outs: &mut Vec<CycleOutput>) {
+        outs.resize_with(self.cores.len(), CycleOutput::default);
         let completions = self.mem.tick();
-        let mut outs = Vec::with_capacity(self.cores.len());
-        for (h, core) in self.cores.iter_mut().enumerate() {
-            let mine: Vec<_> = completions
-                .iter()
-                .filter(|c| c.req.core == h)
-                .cloned()
-                .collect();
-            outs.push(core.tick(&mut self.mem, &mine));
+        if self.cores.len() == 1 {
+            // Single-core fast path: every completion is ours, no
+            // per-core filter copy needed.
+            self.cores[0].tick_into(&mut self.mem, &completions, &mut outs[0]);
+        } else {
+            for (h, core) in self.cores.iter_mut().enumerate() {
+                let mine: Vec<_> = completions
+                    .iter()
+                    .filter(|c| c.req.core == h)
+                    .cloned()
+                    .collect();
+                core.tick_into(&mut self.mem, &mine, &mut outs[h]);
+            }
         }
         // Cross-core reservation snooping on drained stores.
-        let drains: Vec<(usize, u64, u64)> = outs
-            .iter()
-            .flat_map(|o| o.drains.iter().map(|d| (d.hart, d.paddr, d.size)))
-            .collect();
-        for (h, paddr, size) in drains {
-            for (other, core) in self.cores.iter_mut().enumerate() {
-                if other != h {
-                    core.snoop_remote_store(paddr, size);
+        if self.cores.len() > 1 {
+            let drains: Vec<(usize, u64, u64)> = outs
+                .iter()
+                .flat_map(|o| o.drains.iter().map(|d| (d.hart, d.paddr, d.size)))
+                .collect();
+            for (h, paddr, size) in drains {
+                for (other, core) in self.cores.iter_mut().enumerate() {
+                    if other != h {
+                        core.snoop_remote_store(paddr, size);
+                    }
                 }
             }
         }
+    }
+
+    /// Advance one cycle; when event-driven skipping is enabled
+    /// (`cfg.event_driven`) and every core's tick was a provable no-op,
+    /// additionally bulk-advance the clock to just before the next
+    /// scheduled event — memory-system delivery/completion or per-core
+    /// queued work — charging the skipped span so every counter,
+    /// histogram, and CSR lands exactly where cycle-by-cycle execution
+    /// would put it (DESIGN §5g). `limit` is a cycle the clock may land
+    /// on exactly but never pass (run deadline, snapshot boundary).
+    pub fn tick_skipping(&mut self, limit: u64) -> Vec<CycleOutput> {
+        let mut outs = Vec::new();
+        self.tick_skipping_into(limit, &mut outs);
         outs
+    }
+
+    /// Buffer-reusing form of [`XsSystem::tick_skipping`]; see
+    /// [`XsSystem::tick_into`] for the buffer contract.
+    pub fn tick_skipping_into(&mut self, limit: u64, outs: &mut Vec<CycleOutput>) {
+        self.tick_into(outs);
+        if !self.cores[0].cfg.event_driven || self.cores.iter().any(|c| c.made_progress()) {
+            return;
+        }
+        let now = self.mem.cycle();
+        // Events at cycle E must run a real tick landing on E, so the
+        // skip stops at E - 1. With no events anywhere the system is
+        // provably idle (halted or deadlocked) through `limit`.
+        let mut stop = limit;
+        if let Some(e) = self.mem.next_event_cycle() {
+            stop = stop.min(e.saturating_sub(1));
+        }
+        for core in &mut self.cores {
+            if let Some(e) = core.next_event_cycle() {
+                stop = stop.min(e.saturating_sub(1));
+            }
+        }
+        if stop > now {
+            let n = stop - now;
+            self.mem.advance_idle(n);
+            for core in &mut self.cores {
+                core.charge_idle_cycles(&self.mem, n);
+            }
+        }
     }
 
     /// True when every core halted.
@@ -74,11 +133,13 @@ impl XsSystem {
     /// Run until all cores halt or `max_cycles` elapse. Returns core 0's
     /// exit code.
     pub fn run(&mut self, max_cycles: u64) -> Option<u64> {
-        for _ in 0..max_cycles {
+        let deadline = self.cores[0].cycle() + max_cycles;
+        let mut outs = Vec::new();
+        while self.cores[0].cycle() < deadline {
             if self.all_halted() {
                 break;
             }
-            self.tick();
+            self.tick_skipping_into(deadline, &mut outs);
         }
         self.cores[0].halted
     }
@@ -87,12 +148,15 @@ impl XsSystem {
     /// DiffTest-style consumption).
     pub fn run_collect(&mut self, max_cycles: u64) -> Vec<crate::uop::CommitEvent> {
         let mut all = Vec::new();
-        for _ in 0..max_cycles {
+        let mut outs = Vec::new();
+        let deadline = self.cores[0].cycle() + max_cycles;
+        while self.cores[0].cycle() < deadline {
             if self.all_halted() {
                 break;
             }
-            for o in self.tick() {
-                all.extend(o.commits);
+            self.tick_skipping_into(deadline, &mut outs);
+            for o in &mut outs {
+                all.append(&mut o.commits);
             }
         }
         all

@@ -23,6 +23,16 @@ const DATA: i64 = 0x8002_0000;
 /// trace (plus the end condition, for halt assertions).
 fn lifecycle_trace(program: &Program, max_cycles: u64) -> (Vec<Lifecycle>, CoSimEnd) {
     let cfg = XsConfig::preset("small-nh").expect("preset").with_lifecycle();
+    lifecycle_trace_cfg(cfg, program, max_cycles)
+}
+
+/// [`lifecycle_trace`] with an explicit configuration (the equivalence
+/// suite flips `event_driven` on the same preset).
+fn lifecycle_trace_cfg(
+    cfg: XsConfig,
+    program: &Program,
+    max_cycles: u64,
+) -> (Vec<Lifecycle>, CoSimEnd) {
     let mut cosim = CoSim::new(cfg, program);
     let end = cosim.run(max_cycles);
     let table = cosim.archdb.table("lifecycle").expect("lifecycle table exists");
@@ -201,6 +211,75 @@ fn sc_failure_retires_through_atomic_unit() {
 /// `(fetched, renamed, issued, writeback, committed)` for the failing
 /// `sc.d` in `sc_fail_program` on small-nh.
 const SC_PIN: (u64, u64, u64, u64, u64) = (81, 81, 86, 86, 86);
+
+#[test]
+fn squashed_lr_leaves_no_reservation_for_sc() {
+    // A cold conditional branch is predicted taken (predecoded target),
+    // and its condition hangs off a 20-cycle divide, so it resolves
+    // late. The branch is architecturally NOT taken: the wrong path at
+    // the predicted target — an `lr.d` — is fetched and dispatched, then
+    // squashed by the mispredict recovery. The squashed LR must leave no
+    // reservation (and no stale `lr_cycle` window) behind: the `sc.d` on
+    // the correct fall-through path, to the very same address, must
+    // still fail.
+    let mut a = Asm::new(BASE);
+    a.li(S1, DATA);
+    a.li(T0, 7);
+    a.li(T1, 3);
+    a.div(T3, T1, T1); // T3 = 1, available ~20 cycles after issue
+    let lr_block = a.label();
+    a.beqz(T3, lr_block); // T3 = 1: not taken; cold predictor takes it
+    let sc_pc = a.here();
+    a.sc_d(A0, T0, S1); // no architectural reservation: must fail, A0 = 1
+    a.ebreak();
+    a.bind(lr_block);
+    let lr_pc = a.here();
+    a.lr_d(T2, S1); // wrong path: fetched, squashed, never executed
+    a.ebreak();
+    let program = a.assemble();
+
+    let (trace, end) = lifecycle_trace(&program, 100_000);
+    let CoSimEnd::Halted(exit) = end else {
+        panic!("did not halt: {end:?}");
+    };
+    assert_eq!(exit, 1, "sc.d after a squashed lr.d must fail");
+
+    // The wrong-path LR shows up in the trace as a mispredict squash —
+    // proof the hazard path was actually exercised.
+    let lr = trace
+        .iter()
+        .find(|r| r.pc == lr_pc)
+        .expect("wrong-path lr.d was fetched");
+    assert!(!lr.retired(), "wrong-path lr.d retired: {lr:?}");
+    assert_eq!(lr.cause, Some(SquashCause::Mispredict), "{lr:?}");
+
+    let sc = retired_at(&trace, sc_pc).expect("sc.d retired");
+    assert!(sc.mem, "sc.d must be tagged as a memory op");
+}
+
+#[test]
+fn lifecycle_trace_unchanged_by_event_skip() {
+    // Cycle-skip equivalence on the observability surface: with the
+    // event queue force-disabled, the full lifecycle trace (every stage
+    // stamp of every uop, retired and squashed) must be byte-identical
+    // to the skipping run's.
+    let p = mispredict_program();
+    let run = |on: bool| {
+        let cfg = XsConfig::preset("small-nh")
+            .expect("preset")
+            .with_lifecycle()
+            .with_event_driven(on);
+        let (trace, end) = lifecycle_trace_cfg(cfg, &p, 100_000);
+        assert!(
+            matches!(end, CoSimEnd::Halted(_)),
+            "event_driven={on} did not halt: {end:?}"
+        );
+        serde_json::to_string(&trace).expect("trace serializes")
+    };
+    let skipping = run(true);
+    let tick_by_tick = run(false);
+    assert_eq!(skipping, tick_by_tick, "lifecycle traces diverged");
+}
 
 #[test]
 fn lifecycle_trace_is_byte_identical_across_reruns() {

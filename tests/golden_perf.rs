@@ -14,6 +14,7 @@
 use campaign::{Campaign, JobSpec, Verdict, WorkloadSource};
 use minjie::PerfSnapshot;
 use workloads::TortureConfig;
+use xscore::{XsConfig, XsSystem};
 
 fn run_kernel(name: &str, config: &str) -> PerfSnapshot {
     let spec = JobSpec::new(WorkloadSource::kernel(name), config).with_max_cycles(8_000_000);
@@ -65,6 +66,91 @@ fn cpi_identity_holds_on_every_tier1_workload() {
             j.perf.cpi_stack()
         );
         assert!(j.perf.cpi_stack().retired > 0, "{} retired nothing", j.workload);
+    }
+}
+
+#[test]
+fn same_seed_runs_identical_with_traffic_in_flight() {
+    // Regression for the in-flight request table: the old
+    // `HashMap<u64, MemReqKind>` iterated in hash order, so any future
+    // order-sensitive use was a latent nondeterminism. The arena that
+    // replaced it is slot-ordered by construction; two identically-seeded
+    // runs snapshotted *while memory traffic is still in flight* must be
+    // byte-identical. mcf is the cache-hostile kernel, so its L1D keeps
+    // missing for the whole run — traffic is in flight at any cycle.
+    let program = WorkloadSource::kernel("mcf").build();
+    let run = || {
+        let cfg = XsConfig::preset("small-nh").expect("known preset");
+        let mut sys = XsSystem::new(cfg, &program);
+        sys.run(10_000);
+        assert!(!sys.all_halted(), "budget must expire mid-run");
+        // Advance to the next cycle with L1D transactions in flight so
+        // the snapshot observes a non-empty request table.
+        let mut guard = 0u32;
+        while sys.mem.l1d_active_txns(0) == 0 {
+            sys.tick();
+            guard += 1;
+            assert!(guard < 100_000, "no memory traffic found in flight");
+        }
+        let snap = PerfSnapshot::collect(&sys);
+        (
+            sys.cores[0].cycle(),
+            sys.mem.l1d_active_txns(0),
+            serde_json::to_string(&snap).expect("snapshot serializes"),
+        )
+    };
+    let (cycle_a, inflight_a, snap_a) = run();
+    let (cycle_b, inflight_b, snap_b) = run();
+    assert!(inflight_a > 0);
+    assert_eq!(cycle_a, cycle_b, "same-seed runs reached different cycles");
+    assert_eq!(inflight_a, inflight_b, "in-flight traffic diverged");
+    assert_eq!(snap_a, snap_b, "same-seed snapshots diverged");
+}
+
+#[test]
+fn event_skip_equivalence_is_exact() {
+    // The cycle-skip equivalence suite: with the event queue force-
+    // disabled (`with_event_driven(false)`), a tick-by-tick run must be
+    // indistinguishable from the skipping run — same cycle count, same
+    // commit trace, and the same serialized PerfSnapshot (which covers
+    // the CPI stack, lifecycle digest, and telemetry histograms).
+    for (name, config) in [("mcf", "small-nh"), ("libquantum", "small-yqh")] {
+        let program = WorkloadSource::kernel(name).build();
+        let run = |on: bool| {
+            let cfg = XsConfig::preset(config)
+                .expect("known preset")
+                .with_event_driven(on);
+            let mut sys = XsSystem::new(cfg, &program);
+            let commits = sys.run_collect(300_000);
+            let snap = PerfSnapshot::collect(&sys);
+            assert!(
+                snap.cpi_identity_holds(),
+                "{name}/{config} (event_driven={on}): CPI identity broken"
+            );
+            (
+                sys.cores[0].cycle(),
+                commits,
+                serde_json::to_string(&snap).expect("snapshot serializes"),
+            )
+        };
+        let (cycles_on, commits_on, snap_on) = run(true);
+        let (cycles_off, commits_off, snap_off) = run(false);
+        assert_eq!(cycles_on, cycles_off, "{name}/{config}: cycle counts diverged");
+        assert!(!commits_on.is_empty(), "{name}/{config}: no commits observed");
+        if commits_on != commits_off {
+            let i = commits_on
+                .iter()
+                .zip(&commits_off)
+                .position(|(a, b)| a != b)
+                .unwrap_or(commits_on.len().min(commits_off.len()));
+            panic!(
+                "{name}/{config}: commit traces diverge at index {i} \
+                 ({} vs {} events)",
+                commits_on.len(),
+                commits_off.len()
+            );
+        }
+        assert_eq!(snap_on, snap_off, "{name}/{config}: snapshots diverged");
     }
 }
 
