@@ -26,8 +26,13 @@ use crate::runner::Campaign;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use workloads::litmus::{LitmusConfig, LitmusProgram, LitmusShape};
 use workloads::{TortureConfig, TortureProgram};
 use xscore::InjectedBug;
+
+/// Salt mixed into litmus recipe seeds so a litmus recipe and a torture
+/// recipe sharing a slot seed still draw independent knob streams.
+const LITMUS_SALT: u64 = 0x11a7_b05e_ed0c_ab1e;
 
 /// One corpus entry: a complete, serializable workload reproducer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,6 +45,10 @@ pub struct Recipe {
     pub keep: Option<Vec<bool>>,
     /// Configuration preset slug the recipe runs on.
     pub config: String,
+    /// When set, this is a two-hart litmus recipe: `seed` feeds the
+    /// litmus generator, these knobs replace `cfg`, and `keep` masks
+    /// rounds instead of body slots. The job runs dual-core.
+    pub litmus: Option<LitmusConfig>,
 }
 
 /// Fuzz-campaign options. Everything that influences the report body
@@ -73,6 +82,13 @@ pub struct FuzzOpts {
     /// DiffTest REF personality for every job (None keeps the default
     /// architectural stepper).
     pub ref_model: Option<String>,
+    /// Mix two-hart litmus recipes into the exploration stream (the
+    /// `mp:` coverage family then steers exploitation toward
+    /// coherence-event novelty).
+    pub mp: bool,
+    /// Arm the §IV-C L2 probe/grant race fault on every job
+    /// (verification-flow tests only).
+    pub inject_l2_race: bool,
 }
 
 impl FuzzOpts {
@@ -92,6 +108,8 @@ impl FuzzOpts {
             triage: true,
             lifecycle: false,
             ref_model: None,
+            mp: false,
+            inject_l2_race: false,
         }
     }
 }
@@ -143,6 +161,30 @@ pub fn fresh_recipe(seed: u64, config: &str) -> Recipe {
         cfg,
         keep: None,
         config: config.into(),
+        litmus: None,
+    }
+}
+
+/// A fresh two-hart litmus exploration recipe: shape, fencing, and
+/// round knobs drawn from `seed` so different slots cover different
+/// corners of the shape × fence matrix.
+pub fn fresh_litmus_recipe(seed: u64, config: &str) -> Recipe {
+    let mut rng = StdRng::seed_from_u64(splitmix(seed ^ LITMUS_SALT));
+    let shape = LitmusShape::ALL[rng.gen_range(0..LitmusShape::ALL.len())];
+    let litmus = LitmusConfig {
+        shape,
+        fenced: rng.gen_bool(0.5),
+        rounds: rng.gen_range(2usize..=6),
+        filler: rng.gen_range(0usize..=6),
+        lrsc_iters: rng.gen_range(2usize..=6),
+    }
+    .clamped();
+    Recipe {
+        seed,
+        cfg: TortureConfig::default(),
+        keep: None,
+        config: config.into(),
+        litmus: Some(litmus),
     }
 }
 
@@ -152,6 +194,9 @@ pub fn fresh_recipe(seed: u64, config: &str) -> Recipe {
 /// body); mask flips regenerate the body to size the mask correctly,
 /// so every mutant emits a valid, decodable program.
 pub fn mutate_recipe(r: &Recipe, mutation_seed: u64) -> Recipe {
+    if r.litmus.is_some() {
+        return mutate_litmus_recipe(r, mutation_seed);
+    }
     let mut rng = StdRng::seed_from_u64(mutation_seed);
     let mut out = r.clone();
     match rng.gen_range(0u32..6) {
@@ -216,18 +261,88 @@ pub fn mutate_recipe(r: &Recipe, mutation_seed: u64) -> Recipe {
     out
 }
 
+/// The litmus half of [`mutate_recipe`]: hop shapes, toggle fencing,
+/// grow or shrink the round count, jitter the filler window, or reseed
+/// — the knobs that move the race timing and the coherence traffic mix.
+fn mutate_litmus_recipe(r: &Recipe, mutation_seed: u64) -> Recipe {
+    let mut rng = StdRng::seed_from_u64(mutation_seed ^ LITMUS_SALT);
+    let mut out = r.clone();
+    let mut l = out.litmus.expect("litmus recipe");
+    match rng.gen_range(0u32..6) {
+        // Reseed: new filler draws and FenceTorture serializers under
+        // the same knobs.
+        0 => {
+            out.seed = rng.gen();
+            out.keep = None;
+        }
+        // Flip 1..=2 kept-round bits.
+        1 => {
+            let len = LitmusProgram::generate(out.seed, &l).len();
+            let mut mask = out
+                .keep
+                .take()
+                .filter(|m| m.len() == len)
+                .unwrap_or_else(|| vec![true; len]);
+            if len > 0 {
+                for _ in 0..rng.gen_range(1usize..=2) {
+                    let i = rng.gen_range(0..len);
+                    mask[i] = !mask[i];
+                }
+            }
+            out.keep = Some(mask);
+        }
+        // Hop to another shape.
+        2 => {
+            l.shape = LitmusShape::ALL[rng.gen_range(0..LitmusShape::ALL.len())];
+            out.keep = None;
+        }
+        // Toggle fencing (round count unchanged: the mask survives).
+        3 => l.fenced = !l.fenced,
+        // Grow or shrink the round count.
+        4 => {
+            let delta = rng.gen_range(1usize..=2);
+            l.rounds = if rng.gen_bool(0.5) {
+                l.rounds.saturating_add(delta)
+            } else {
+                l.rounds.saturating_sub(delta)
+            };
+            out.keep = None;
+        }
+        // Jitter the race timing: filler and LR/SC contention knobs.
+        _ => {
+            l.filler = rng.gen_range(0usize..=8);
+            l.lrsc_iters = rng.gen_range(1usize..=8);
+            out.keep = None;
+        }
+    }
+    out.litmus = Some(l.clamped());
+    out
+}
+
 /// The job a recipe runs as (coverage maps always on).
 fn job_spec(r: &Recipe, opts: &FuzzOpts) -> JobSpec {
-    let mut spec = JobSpec::new(
-        WorkloadSource::Torture {
+    let workload = match r.litmus {
+        Some(cfg) => WorkloadSource::Litmus {
+            seed: r.seed,
+            cfg,
+            keep: r.keep.clone(),
+        },
+        None => WorkloadSource::Torture {
             seed: r.seed,
             cfg: r.cfg,
             keep: r.keep.clone(),
         },
-        r.config.clone(),
-    )
-    .with_max_cycles(opts.max_cycles)
-    .with_coverage();
+    };
+    let mut spec = JobSpec::new(workload, r.config.clone())
+        .with_max_cycles(opts.max_cycles)
+        .with_coverage();
+    if r.litmus.is_some() {
+        // Litmus programs are two-hart by construction.
+        spec = spec.with_cores(2);
+    }
+    if opts.inject_l2_race {
+        spec = spec.with_l2_race();
+    }
     if let Some(iv) = opts.lightsss_interval {
         spec = spec.with_lightsss(iv);
     }
@@ -249,11 +364,21 @@ fn job_spec(r: &Recipe, opts: &FuzzOpts) -> JobSpec {
 fn plan_round(opts: &FuzzOpts, round: u64, corpus: &[(Recipe, Vec<(String, u8)>, u64)]) -> Vec<Recipe> {
     let slots = opts.jobs_per_round.max(1);
     let config_for = |slot: usize| opts.configs[slot % opts.configs.len()].as_str();
+    // With `--mp` on, every other fresh slot explores a litmus recipe;
+    // exploitation below is shape-agnostic, so litmus entries earn
+    // mutation slots exactly as far as their `mp:` novelty carries them.
+    let fresh = |slot: usize, seed: u64| {
+        if opts.mp && slot % 2 == 1 {
+            fresh_litmus_recipe(seed, config_for(slot))
+        } else {
+            fresh_recipe(seed, config_for(slot))
+        }
+    };
     let mut recipes = Vec::with_capacity(slots);
     if round == 0 || corpus.is_empty() {
         for slot in 0..slots {
             let seed = mix(opts.fuzz_seed, round, slot as u64);
-            recipes.push(fresh_recipe(seed, config_for(slot)));
+            recipes.push(fresh(slot, seed));
         }
         return recipes;
     }
@@ -268,7 +393,7 @@ fn plan_round(opts: &FuzzOpts, round: u64, corpus: &[(Recipe, Vec<(String, u8)>,
             let parent = &corpus[order[slot % order.len()]].0;
             recipes.push(mutate_recipe(parent, mseed));
         } else {
-            recipes.push(fresh_recipe(mseed, config_for(slot)));
+            recipes.push(fresh(slot, mseed));
         }
     }
     recipes
@@ -388,6 +513,43 @@ mod tests {
             };
             assert!(!program.bytes.is_empty());
         }
+    }
+
+    #[test]
+    fn litmus_recipes_are_deterministic_and_mutants_stay_valid() {
+        let fresh = fresh_litmus_recipe(42, "small-nh");
+        assert_eq!(fresh, fresh_litmus_recipe(42, "small-nh"));
+        assert!(fresh.litmus.is_some());
+        let mut r = fresh;
+        for mseed in 0..64 {
+            r = mutate_recipe(&r, mseed);
+            let l = r.litmus.expect("litmus mutations stay litmus");
+            let p = LitmusProgram::generate(r.seed, &l);
+            let program = match &r.keep {
+                Some(mask) => {
+                    assert_eq!(mask.len(), p.len(), "mask tracks the rounds");
+                    p.emit_subset(mask)
+                }
+                None => p.emit(),
+            };
+            assert!(!program.bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn mp_round_planning_interleaves_litmus_recipes() {
+        let mut opts = FuzzOpts::new(5);
+        opts.mp = true;
+        opts.jobs_per_round = 8;
+        let recipes = plan_round(&opts, 0, &[]);
+        let litmus = recipes.iter().filter(|r| r.litmus.is_some()).count();
+        assert_eq!(litmus, 4, "every other fresh slot is a litmus recipe");
+        // The spec a litmus recipe runs as is dual-core.
+        let spec = job_spec(&recipes[1], &opts);
+        assert_eq!(spec.cores, Some(2));
+        assert!(!spec.inject_l2_race);
+        opts.inject_l2_race = true;
+        assert!(job_spec(&recipes[1], &opts).inject_l2_race);
     }
 
     #[test]

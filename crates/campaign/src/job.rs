@@ -2,6 +2,7 @@
 
 use minjie::DiffError;
 use riscv_isa::asm::Program;
+use workloads::litmus::{LitmusConfig, LitmusProgram};
 use workloads::{Scale, TortureConfig, TortureProgram};
 use xscore::{InjectedBug, XsConfig};
 
@@ -25,6 +26,17 @@ pub enum WorkloadSource {
         /// Generator knobs.
         cfg: TortureConfig,
         /// Kept-mask (None keeps every slot).
+        keep: Option<Vec<bool>>,
+    },
+    /// A two-hart litmus program regenerated from its seed, optionally
+    /// with a kept-mask over the abstract rounds. Litmus jobs need a
+    /// multi-core configuration — pair with [`JobSpec::with_cores`].
+    Litmus {
+        /// Generator seed.
+        seed: u64,
+        /// Generator knobs (shape, fences, round count).
+        cfg: LitmusConfig,
+        /// Kept-mask over rounds (None keeps every round).
         keep: Option<Vec<bool>>,
     },
     /// A caller-assembled program.
@@ -51,6 +63,15 @@ impl WorkloadSource {
         WorkloadSource::Kernel { name: name.into() }
     }
 
+    /// A full litmus program from `seed`.
+    pub fn litmus(seed: u64, cfg: LitmusConfig) -> Self {
+        WorkloadSource::Litmus {
+            seed,
+            cfg,
+            keep: None,
+        }
+    }
+
     /// An inline program.
     pub fn inline(name: impl Into<String>, program: Program) -> Self {
         WorkloadSource::Inline {
@@ -64,6 +85,9 @@ impl WorkloadSource {
         match self {
             WorkloadSource::Kernel { name } => format!("kernel:{name}"),
             WorkloadSource::Torture { seed, .. } => format!("torture:seed={seed}"),
+            WorkloadSource::Litmus { seed, cfg, .. } => {
+                format!("litmus:{}:seed={seed}", cfg.shape.slug())
+            }
             WorkloadSource::Inline { name, .. } => format!("inline:{name}"),
         }
     }
@@ -77,6 +101,13 @@ impl WorkloadSource {
                 match keep {
                     Some(mask) => t.emit_subset(mask),
                     None => t.emit(),
+                }
+            }
+            WorkloadSource::Litmus { seed, cfg, keep } => {
+                let p = LitmusProgram::generate(*seed, cfg);
+                match keep {
+                    Some(mask) => p.emit_subset(mask),
+                    None => p.emit(),
                 }
             }
             WorkloadSource::Inline { program, .. } => program.clone(),
@@ -95,6 +126,9 @@ pub struct JobSpec {
     pub cores: Option<usize>,
     /// Deliberate DUT corruption (verification-flow tests only).
     pub injected_bug: Option<InjectedBug>,
+    /// Arm the §IV-C L2 probe/grant race fault in core 0's L2
+    /// (verification-flow tests only).
+    pub inject_l2_race: bool,
     /// Cycle budget; exceeding it is a [`Timeout`](crate::Verdict::Timeout).
     pub max_cycles: u64,
     /// LightSSS snapshot interval (None disables snapshots).
@@ -124,6 +158,7 @@ impl JobSpec {
             config: config.into(),
             cores: None,
             injected_bug: None,
+            inject_l2_race: false,
             max_cycles: 40_000_000,
             lightsss_interval: None,
             telemetry: false,
@@ -143,6 +178,12 @@ impl JobSpec {
     /// Arm a deliberate DUT bug.
     pub fn with_injected_bug(mut self, bug: InjectedBug) -> Self {
         self.injected_bug = Some(bug);
+        self
+    }
+
+    /// Arm the §IV-C L2 probe/grant race fault.
+    pub fn with_l2_race(mut self) -> Self {
+        self.inject_l2_race = true;
         self
     }
 
@@ -198,6 +239,9 @@ impl JobSpec {
         if let Some(bug) = self.injected_bug {
             cfg.injected_bug = Some(bug);
         }
+        if self.inject_l2_race {
+            cfg = cfg.with_l2_race();
+        }
         if self.telemetry {
             cfg = cfg.with_telemetry();
         }
@@ -238,6 +282,24 @@ mod tests {
             WorkloadSource::torture(7, TortureConfig::default()).describe(),
             "torture:seed=7"
         );
+        assert_eq!(
+            WorkloadSource::litmus(3, LitmusConfig::default()).describe(),
+            "litmus:mp:seed=3"
+        );
+    }
+
+    #[test]
+    fn litmus_source_build_honours_mask() {
+        let cfg = LitmusConfig::default();
+        let full = WorkloadSource::litmus(5, cfg).build();
+        let keep = vec![false; cfg.rounds];
+        let empty = WorkloadSource::Litmus {
+            seed: 5,
+            cfg,
+            keep: Some(keep),
+        }
+        .build();
+        assert!(empty.bytes.len() < full.bytes.len());
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   mutation, scheduled by observed coverage novelty (decode,
 //!   diff-rule, and pipeline-event coverage maps), and every divergence
 //!   it finds flows through the same minimize/triage pipeline.
+//! - With `FuzzOpts::mp` on, the exploration stream interleaves
+//!   two-hart litmus recipes; a run whose final observation set falls
+//!   outside the shape's allowed-outcome mask becomes a
+//!   [`Verdict::ForbiddenOutcome`], which ddmins over rounds and
+//!   triages into a replayable bundle like any divergence.
 //!
 //! # Example
 //!
@@ -55,7 +60,9 @@ pub mod runner;
 pub mod triage;
 
 pub use coverage::{minimize_corpus, CoverageSet, FuzzRound, FuzzSummary};
-pub use fuzz::{fresh_recipe, mutate_recipe, run_fuzz, FuzzOpts, FuzzOutcome, Recipe};
+pub use fuzz::{
+    fresh_litmus_recipe, fresh_recipe, mutate_recipe, run_fuzz, FuzzOpts, FuzzOutcome, Recipe,
+};
 pub use job::{error_class, JobSpec, WorkloadSource};
 pub use minimize::{minimize, MinimizeOutcome};
 pub use report::{

@@ -13,6 +13,7 @@ use crate::triage::TriageBundle;
 use minjie::{CoverageMap, DiffError, PerfSnapshot};
 use serde::{Deserialize, Serialize};
 use serde_json::{Map, Value};
+use workloads::litmus::LitmusConfig;
 use workloads::TortureConfig;
 
 /// Report schema version (bump on breaking shape changes).
@@ -24,7 +25,11 @@ use workloads::TortureConfig;
 /// snapshot (gap histograms, squash causes, dominant-stall counts), and
 /// triage bundles carry the crash-ring lifecycle snapshot (bundle
 /// schema v3).
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: multi-hart litmus jobs — the `ForbiddenOutcome` verdict with its
+/// summary tally, minimized reproducers carry an optional litmus recipe
+/// alongside the torture one, and coverage maps grow the `mp:` family
+/// (bundle schema v4).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// How one job ended.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,6 +43,20 @@ pub enum Verdict {
     Diverged {
         /// The divergence.
         error: DiffError,
+    },
+    /// A litmus program halted reporting an observation outside the
+    /// shape's allowed set — a memory-model violation both harts
+    /// committed architecturally (so per-hart DiffTest stayed clean).
+    ForbiddenOutcome {
+        /// First round whose outcome was forbidden.
+        round: u64,
+        /// The forbidden outcome index (see
+        /// `LitmusExit::describe_outcome`).
+        outcome: u64,
+        /// Human-readable outcome, e.g. `"r1=1 r2=0"`.
+        outcome_desc: String,
+        /// The raw litmus exit code (hart 0's `a0`).
+        exit_code: u64,
     },
     /// The cycle budget ran out.
     Timeout,
@@ -64,6 +83,7 @@ impl Verdict {
         match self {
             Verdict::Halted { .. } => "halted",
             Verdict::Diverged { .. } => "diverged",
+            Verdict::ForbiddenOutcome { .. } => "forbidden-outcome",
             Verdict::Timeout => "timeout",
             Verdict::Panicked { .. } => "panicked",
             Verdict::WallTimeout { .. } => "wall-timeout",
@@ -93,16 +113,19 @@ pub struct ReplayWindow {
     pub trace_records: u64,
 }
 
-/// A minimized failing torture program: `(seed, cfg, kept)` rebuilds it
-/// exactly via [`TortureProgram::emit_subset`].
+/// A minimized failing generated program: `(seed, cfg, kept)` rebuilds
+/// it exactly via `emit_subset` on the matching generator. Exactly one
+/// of `torture`/`litmus` is set.
 ///
 /// [`TortureProgram::emit_subset`]: workloads::TortureProgram::emit_subset
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MinimizedRepro {
     /// Generator seed.
     pub seed: u64,
-    /// Generator knobs.
-    pub torture: TortureConfig,
+    /// Generator knobs (torture jobs).
+    pub torture: Option<TortureConfig>,
+    /// Generator knobs (litmus jobs; `kept` indexes rounds).
+    pub litmus: Option<LitmusConfig>,
     /// Kept body-slot indices after minimization.
     pub kept: Vec<u64>,
     /// Kept-slot count before minimization.
@@ -163,6 +186,8 @@ pub struct CampaignSummary {
     pub halted: u64,
     /// Jobs on which DiffTest diverged.
     pub diverged: u64,
+    /// Litmus jobs that committed a forbidden outcome.
+    pub forbidden: u64,
     /// Jobs that exhausted their cycle budget.
     pub timeout: u64,
     /// Jobs that panicked.
@@ -180,6 +205,7 @@ impl CampaignSummary {
             match j.verdict {
                 Verdict::Halted { .. } => s.halted += 1,
                 Verdict::Diverged { .. } => s.diverged += 1,
+                Verdict::ForbiddenOutcome { .. } => s.forbidden += 1,
                 Verdict::Timeout | Verdict::WallTimeout { .. } => s.timeout += 1,
                 Verdict::Panicked { .. } => s.panicked += 1,
             }

@@ -21,12 +21,13 @@ use crate::minimize::minimize;
 use crate::report::{
     CampaignReport, CampaignSummary, JobRecord, MinimizedRepro, ReplayWindow, Verdict, WallClock,
 };
-use crate::triage::{triage_divergence, triage_panic, triage_timeout};
+use crate::triage::{triage_divergence, triage_forbidden, triage_panic, triage_timeout};
 use minjie::{run_isolated, run_isolated_salvaging, CoSimEnd};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use workloads::litmus::{LitmusExit, LitmusProgram};
 use workloads::TortureProgram;
 
 /// Cycle budget for each minimizer re-run (candidates are subsets of an
@@ -277,7 +278,31 @@ fn execute_job(index: usize, spec: &JobSpec, policy: JobPolicy) -> JobRecord {
             record.perf = stats.perf;
             record.coverage = stats.coverage;
             record.verdict = match stats.end {
-                CoSimEnd::Halted(exit_code) => Verdict::Halted { exit_code },
+                CoSimEnd::Halted(exit_code) => match litmus_forbidden(spec, exit_code) {
+                    Some(exit) => {
+                        if policy.minimize_failures {
+                            record.minimized = minimize_litmus_failure(spec);
+                        }
+                        if policy.triage {
+                            record.triage = Some(triage_forbidden(
+                                index as u64,
+                                spec,
+                                exit_code,
+                                stats.cycles,
+                                stats.commits_checked,
+                                record.minimized.clone(),
+                                stats.lifecycle_ring,
+                            ));
+                        }
+                        Verdict::ForbiddenOutcome {
+                            round: exit.first_bad_round as u64,
+                            outcome: exit.first_bad_outcome as u64,
+                            outcome_desc: LitmusExit::describe_outcome(exit.first_bad_outcome),
+                            exit_code,
+                        }
+                    }
+                    None => Verdict::Halted { exit_code },
+                },
                 CoSimEnd::OutOfCycles => {
                     if policy.triage {
                         if let Some(s) = salvage {
@@ -352,7 +377,8 @@ fn minimize_torture_failure(spec: &JobSpec, error: &minjie::DiffError) -> Option
     let original_kept = initial.iter().filter(|&&k| k).count() as u64;
     Some(MinimizedRepro {
         seed: *seed,
-        torture: *cfg,
+        torture: Some(*cfg),
+        litmus: None,
         kept: outcome
             .kept
             .iter()
@@ -363,6 +389,57 @@ fn minimize_torture_failure(spec: &JobSpec, error: &minjie::DiffError) -> Option
         original_kept,
         minimized_kept: outcome.kept_count() as u64,
         error_class: class.to_string(),
+        minimizer_runs: outcome.runs,
+    })
+}
+
+/// Decode a halted job's exit code as a litmus verdict: `Some` when the
+/// workload is a litmus program and it reported a forbidden outcome.
+fn litmus_forbidden(spec: &JobSpec, exit_code: u64) -> Option<LitmusExit> {
+    let WorkloadSource::Litmus { .. } = &spec.workload else {
+        return None;
+    };
+    let exit = LitmusExit::decode(exit_code);
+    exit.forbidden().then_some(exit)
+}
+
+/// Delta-debug a forbidden-outcome litmus job down to the smallest
+/// round subset that still commits an illegal observation.
+fn minimize_litmus_failure(spec: &JobSpec) -> Option<MinimizedRepro> {
+    let WorkloadSource::Litmus { seed, cfg, keep } = &spec.workload else {
+        return None;
+    };
+    let p = LitmusProgram::generate(*seed, cfg);
+    let initial = keep.clone().unwrap_or_else(|| vec![true; p.len()]);
+    let budget = spec.max_cycles.min(MINIMIZE_MAX_CYCLES);
+    let outcome = minimize(&initial, |mask| {
+        let program = p.emit_subset(mask);
+        let Some(job_cfg) = spec.build_config() else {
+            return false;
+        };
+        matches!(
+            run_isolated(job_cfg, &program, budget, None),
+            Ok(minjie::RunStats {
+                end: CoSimEnd::Halted(code),
+                ..
+            }) if LitmusExit::decode(code).forbidden()
+        )
+    });
+    let original_kept = initial.iter().filter(|&&k| k).count() as u64;
+    Some(MinimizedRepro {
+        seed: *seed,
+        torture: None,
+        litmus: Some(*cfg),
+        kept: outcome
+            .kept
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| i as u64)
+            .collect(),
+        original_kept,
+        minimized_kept: outcome.kept_count() as u64,
+        error_class: "ForbiddenOutcome".to_string(),
         minimizer_runs: outcome.runs,
     })
 }

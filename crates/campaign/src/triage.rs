@@ -19,11 +19,14 @@ use riscv_isa::asm::Program;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use workloads::litmus::LitmusConfig;
 use workloads::TortureConfig;
 use xscore::{CpiStack, InjectedBug};
 
 /// Bundle schema version (independent of the report schema).
-pub const BUNDLE_SCHEMA_VERSION: u64 = 3;
+/// v4: litmus sources, the `"forbidden-outcome"` trigger with its raw
+/// exit code, and the L2 probe/grant race fault flag.
+pub const BUNDLE_SCHEMA_VERSION: u64 = 4;
 
 /// Commit-trace rows retained in the bundle (the tail closest to the
 /// failure point).
@@ -51,6 +54,15 @@ pub enum BundleSource {
         /// Kept-mask over the abstract body slots (None keeps all).
         keep: Option<Vec<bool>>,
     },
+    /// A two-hart litmus program regenerated from its seed.
+    Litmus {
+        /// Generator seed.
+        seed: u64,
+        /// Generator knobs.
+        cfg: LitmusConfig,
+        /// Kept-mask over the abstract rounds (None keeps all).
+        keep: Option<Vec<bool>>,
+    },
     /// A caller-assembled program, stored as raw bytes.
     Inline {
         /// Display name.
@@ -74,6 +86,11 @@ impl BundleSource {
                 cfg: *cfg,
                 keep: keep.clone(),
             },
+            WorkloadSource::Litmus { seed, cfg, keep } => BundleSource::Litmus {
+                seed: *seed,
+                cfg: *cfg,
+                keep: keep.clone(),
+            },
             WorkloadSource::Inline { name, program } => BundleSource::Inline {
                 name: name.clone(),
                 base: program.base,
@@ -88,6 +105,11 @@ impl BundleSource {
         match self {
             BundleSource::Kernel { name } => WorkloadSource::Kernel { name: name.clone() },
             BundleSource::Torture { seed, cfg, keep } => WorkloadSource::Torture {
+                seed: *seed,
+                cfg: *cfg,
+                keep: keep.clone(),
+            },
+            BundleSource::Litmus { seed, cfg, keep } => WorkloadSource::Litmus {
                 seed: *seed,
                 cfg: *cfg,
                 keep: keep.clone(),
@@ -147,6 +169,8 @@ pub struct TriageBundle {
     pub cores: Option<u64>,
     /// Deliberate DUT corruption armed for the job.
     pub injected_bug: Option<InjectedBug>,
+    /// §IV-C L2 probe/grant race fault armed for the job.
+    pub inject_l2_race: bool,
     /// Per-cycle telemetry enabled.
     pub telemetry: bool,
     /// Full-trace lifecycle streaming enabled (the crash ring below is
@@ -159,7 +183,8 @@ pub struct TriageBundle {
     /// DiffTest REF personality (None = default architectural stepper).
     /// Recorded so a replay re-verifies against the same REF tier.
     pub ref_model: Option<String>,
-    /// What ended the job: `"diverged"`, `"timeout"`, or `"panicked"`.
+    /// What ended the job: `"diverged"`, `"timeout"`, `"panicked"`, or
+    /// `"forbidden-outcome"`.
     pub trigger: String,
     /// Cycle of the snapshot the replay rolled back to (0 for the
     /// reset-state fallback).
@@ -178,6 +203,10 @@ pub struct TriageBundle {
     pub error_class: Option<String>,
     /// The panic message (panicked jobs only).
     pub panic: Option<String>,
+    /// The raw litmus exit code — status, first bad round and outcome
+    /// packed into hart 0's `a0` (forbidden-outcome jobs only). A
+    /// replay must halt with this exact value to count as reproduced.
+    pub forbidden_exit: Option<u64>,
     /// Whether the rollback replay reproduced the original failure.
     pub reproduced: bool,
     /// Cycles re-simulated in the debug-mode window.
@@ -289,6 +318,7 @@ fn base_bundle(job_index: u64, spec: &JobSpec, trigger: &str) -> TriageBundle {
         config: spec.config.clone(),
         cores: spec.cores.map(|c| c as u64),
         injected_bug: spec.injected_bug,
+        inject_l2_race: spec.inject_l2_race,
         telemetry: spec.telemetry,
         lifecycle: spec.lifecycle,
         max_cycles: spec.max_cycles,
@@ -302,6 +332,7 @@ fn base_bundle(job_index: u64, spec: &JobSpec, trigger: &str) -> TriageBundle {
         error: None,
         error_class: None,
         panic: None,
+        forbidden_exit: None,
         reproduced: false,
         cycles_replayed: 0,
         trace_records: 0,
@@ -395,6 +426,49 @@ pub fn triage_timeout(
     b
 }
 
+/// Triage a litmus forbidden outcome: both harts committed cleanly (so
+/// there is no divergence point to roll back to — the *final
+/// observation set* is what's illegal), so rebuild from reset and
+/// re-execute the whole run in debug mode, capturing the commit tail
+/// and both harts' lifecycle rings around the racy rounds.
+pub fn triage_forbidden(
+    job_index: u64,
+    spec: &JobSpec,
+    exit_code: u64,
+    end_cycle: u64,
+    commits_checked: u64,
+    minimized: Option<MinimizedRepro>,
+    lifecycle_ring: Vec<xscore::Lifecycle>,
+) -> TriageBundle {
+    let mut b = base_bundle(job_index, spec, "forbidden-outcome");
+    b.at_cycle = end_cycle;
+    b.at_commit = commits_checked;
+    b.forbidden_exit = Some(exit_code);
+    b.minimized = minimized;
+    b.lifecycle_ring = lifecycle_ring;
+    let Some(cfg) = spec.build_config() else {
+        return b;
+    };
+    let program = spec.workload.build();
+    let boot = catch_unwind(AssertUnwindSafe(|| CoSim::new(cfg, &program).state));
+    let Ok(start) = boot else {
+        return b;
+    };
+    let w = replay_window(start, 0, end_cycle.saturating_add(REPLAY_SLACK));
+    // The model is deterministic: halting at the original end cycle with
+    // no divergence en route is the same run, so the same forbidden
+    // observation was committed.
+    b.reproduced = w.error.is_none() && w.at_cycle == end_cycle;
+    b.cycles_replayed = w.cycles_replayed;
+    b.trace_records = w.trace_records;
+    b.commit_tail = w.tail;
+    b.window_cpi = w.window_cpi;
+    if b.lifecycle_ring.is_empty() {
+        b.lifecycle_ring = w.ring;
+    }
+    b
+}
+
 /// Triage a panic: the unwound harness left nothing to salvage, so
 /// rebuild from reset and step in debug mode inside a per-step panic
 /// boundary until the panic strikes again.
@@ -465,6 +539,9 @@ pub fn bundle_spec(b: &TriageBundle) -> JobSpec {
     if let Some(bug) = b.injected_bug {
         spec = spec.with_injected_bug(bug);
     }
+    if b.inject_l2_race {
+        spec = spec.with_l2_race();
+    }
     spec = spec.with_max_cycles(b.max_cycles);
     if let Some(iv) = b.lightsss_interval {
         spec = spec.with_lightsss(iv);
@@ -516,11 +593,25 @@ pub fn verify_bundle(b: &TriageBundle) -> Result<BundleVerification, String> {
             detail: format!("panicked: {message}"),
         },
         Ok(stats) => match stats.end {
-            CoSimEnd::Halted(code) => BundleVerification {
-                reproduced: false,
-                at_commit: stats.commits_checked,
-                detail: format!("halted cleanly with exit code {code}"),
-            },
+            CoSimEnd::Halted(code) => {
+                let same_exit = b.forbidden_exit == Some(code);
+                let same_commit = stats.commits_checked == b.at_commit;
+                BundleVerification {
+                    reproduced: b.trigger == "forbidden-outcome" && same_exit && same_commit,
+                    at_commit: stats.commits_checked,
+                    detail: if b.trigger == "forbidden-outcome" {
+                        format!(
+                            "halted with exit code {code:#x} at commit {} \
+                             (bundle: {:#x} at commit {})",
+                            stats.commits_checked,
+                            b.forbidden_exit.unwrap_or(0),
+                            b.at_commit
+                        )
+                    } else {
+                        format!("halted cleanly with exit code {code}")
+                    },
+                }
+            }
             CoSimEnd::OutOfCycles => BundleVerification {
                 reproduced: b.trigger == "timeout"
                     && stats.cycles == b.at_cycle
@@ -589,6 +680,12 @@ impl TriageBundle {
         }
         if let Some(p) = &self.panic {
             s.push_str(&format!("panic: {p}\n"));
+        }
+        if let Some(x) = self.forbidden_exit {
+            s.push_str(&format!(
+                "forbidden litmus exit: {x:#x} ({:?})\n",
+                workloads::litmus::LitmusExit::decode(x)
+            ));
         }
         s.push_str(&format!(
             "rollback: from cycle {}{}, replayed {} cycles, {} trace records, reproduced: {}\n",

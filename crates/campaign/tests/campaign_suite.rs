@@ -50,7 +50,8 @@ fn injected_bug_is_caught_minimized_and_reported() {
 
         // The reproducer actually reproduces: re-emit the minimized
         // subset and re-run under the same corrupted configuration.
-        let t = TortureProgram::generate(m.seed, &m.torture);
+        let tcfg = m.torture.expect("torture reproducer");
+        let t = TortureProgram::generate(m.seed, &tcfg);
         let mut mask = vec![false; t.len()];
         for &i in &m.kept {
             mask[i as usize] = true;

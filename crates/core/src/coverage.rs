@@ -83,6 +83,12 @@ pub struct CoverageMap {
     pub rules: Vec<(String, u64)>,
     /// Pipeline-event coverage, log2-bucketed (see [`bucket`]).
     pub events: Vec<(String, u8)>,
+    /// Multi-hart coherence-event coverage, log2-bucketed: probe
+    /// traffic, grant/release interleavings (writebacks/evictions), SC
+    /// success/failure under contention, store-buffer drain windows and
+    /// cross-hart reservation kills. Populated only on multi-core runs,
+    /// so single-core coverage pins are unaffected.
+    pub mp: Vec<(String, u8)>,
 }
 
 impl CoverageMap {
@@ -114,11 +120,22 @@ impl CoverageMap {
             .map(|(name, n)| (name.to_string(), bucket(n)))
             .collect();
         events.sort();
+        let mut mp: Vec<(String, u8)> = if perf.cores.len() > 1 {
+            mp_events(perf)
+                .into_iter()
+                .filter(|&(_, n)| n > 0)
+                .map(|(name, n)| (name.to_string(), bucket(n)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        mp.sort();
         CoverageMap {
             opcodes,
             op_classes,
             rules,
             events,
+            mp,
         }
     }
 
@@ -141,6 +158,9 @@ impl CoverageMap {
         }
         for (name, b) in &self.events {
             out.push((format!("evt:{name}"), *b));
+        }
+        for (name, b) in &self.mp {
+            out.push((format!("mp:{name}"), *b));
         }
         out.sort();
         out
@@ -186,6 +206,28 @@ fn pipeline_events(perf: &PerfSnapshot) -> Vec<(&'static str, u64)> {
             perf.caches.iter().map(|c| c.stats.mshr_stalls).sum(),
         ),
         ("dram-access", perf.dram.accesses),
+    ]
+}
+
+/// Multi-hart coherence events from a run's telemetry snapshot; only
+/// meaningful (and only collected) when more than one core ran.
+fn mp_events(perf: &PerfSnapshot) -> Vec<(&'static str, u64)> {
+    let core = |f: fn(&crate::telemetry::CoreSnapshot) -> u64| -> u64 {
+        perf.cores.iter().map(f).sum()
+    };
+    let cache = |f: fn(&uncore::CacheStats) -> u64| -> u64 {
+        perf.caches.iter().map(|c| f(&c.stats)).sum()
+    };
+    vec![
+        ("probe-sent", cache(|s| s.probes_sent)),
+        ("probe-received", cache(|s| s.probes_received)),
+        ("writeback", cache(|s| s.writebacks)),
+        ("eviction", cache(|s| s.evictions)),
+        ("injected-race", cache(|s| s.injected_races)),
+        ("sc-success", core(|c| c.perf.sc_successes)),
+        ("sc-failure", core(|c| c.perf.sc_failures)),
+        ("reservation-kill", core(|c| c.perf.reservation_snoop_kills)),
+        ("sbuffer-drain", core(|c| c.perf.sbuffer_drains)),
     ]
 }
 
@@ -264,6 +306,7 @@ mod tests {
             op_classes: vec![("Alu".into(), 7)],
             rules: vec![("sc-failure".into(), 2)],
             events: vec![("dram-access".into(), 4)],
+            mp: vec![("probe-sent".into(), 3)],
         };
         let json = serde_json::to_string(&map).unwrap();
         let back: CoverageMap = serde_json::from_str(&json).unwrap();

@@ -22,9 +22,14 @@
 //! ```
 
 pub mod kernels;
+pub mod litmus;
 pub mod torture;
 
 pub use kernels::{all_workloads, workload, Scale, Workload, WorkloadClass, NAMES};
+pub use litmus::{
+    allowed_mask, random_litmus, LitmusConfig, LitmusExit, LitmusProgram, LitmusRound,
+    LitmusShape, SerKind,
+};
 pub use torture::{
     random_program, BodyInstr, BranchKind, CompressedKind, MemAccess, TortureConfig,
     TortureProgram,

@@ -159,6 +159,9 @@ pub struct XsConfig {
     /// DESIGN §5g); the knob exists so the equivalence suite can force
     /// the cycle-by-cycle path.
     pub event_driven: bool,
+    /// Arm the §IV-C probe/grant race fault in core 0's L2 (a deliberate
+    /// coherence bug for verification-flow tests; never set by presets).
+    pub inject_l2_race: bool,
 }
 
 impl XsConfig {
@@ -209,6 +212,7 @@ impl XsConfig {
             lifecycle: false,
             ref_model: None,
             event_driven: true,
+            inject_l2_race: false,
         }
     }
 
@@ -257,6 +261,7 @@ impl XsConfig {
             lifecycle: false,
             ref_model: None,
             event_driven: true,
+            inject_l2_race: false,
         }
     }
 
@@ -362,6 +367,13 @@ impl XsConfig {
     /// Force the idle-cycle skipper on or off (equivalence suite knob).
     pub fn with_event_driven(mut self, on: bool) -> Self {
         self.event_driven = on;
+        self
+    }
+
+    /// Arm the §IV-C L2 probe/grant race fault (verification-flow tests).
+    #[must_use]
+    pub fn with_l2_race(mut self) -> Self {
+        self.inject_l2_race = true;
         self
     }
 

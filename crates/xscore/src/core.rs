@@ -254,6 +254,14 @@ pub struct CycleOutput {
     pub commits: Vec<CommitEvent>,
     /// Stores that entered the cache hierarchy this cycle.
     pub drains: Vec<SbufferDrainEvent>,
+    /// Atomic writes (`paddr`, `size`) that linearized this cycle: an SC
+    /// that decided success or an AMO whose store value was computed.
+    /// The system applies these to every *other* hart's reservation in
+    /// the same cycle — a remote SC deciding any later must fail. The
+    /// drain-completion snoop alone fires a full memory round-trip after
+    /// the decision, leaving a window where two harts' SCs both succeed
+    /// from the same loaded value (a lost update).
+    pub res_kills: Vec<(u64, u64)>,
 }
 
 /// One XiangShan-style core.
@@ -602,6 +610,7 @@ impl Core {
     ) {
         out.commits.clear();
         out.drains.clear();
+        out.res_kills.clear();
         self.cycle += 1;
         self.perf.cycles += 1;
         self.tick_progress = false;
@@ -829,6 +838,7 @@ impl Core {
                 }
                 MemReqKind::SbufferDrain => {
                     let head = self.lsu.sbuffer.front().expect("drain completes head");
+                    self.perf.sbuffer_drains += 1;
                     out.drains.push(SbufferDrainEvent {
                         hart: self.hart,
                         paddr: head.paddr,
@@ -840,10 +850,11 @@ impl Core {
                 }
                 MemReqKind::AtomicLoad => {
                     let old = c.data;
-                    self.atomic_loaded(mem, old);
+                    self.atomic_loaded(mem, old, out);
                 }
                 MemReqKind::AtomicStore => {
                     if let CommitStall::AtomicStore { old, pa, size, newv } = self.commit_stall {
+                        self.perf.sbuffer_drains += 1;
                         out.drains.push(SbufferDrainEvent {
                             hart: self.hart,
                             paddr: pa,
@@ -943,25 +954,23 @@ impl Core {
         let pc = e.uop.pc;
         let predicted_npc = e.uop.predicted_npc;
         let fallthrough = e.uop.fallthrough();
+        // Positional operand read: slot i holds operand i+1's mapping,
+        // or None for x0 / unused (which read as zero). Compacting here
+        // instead would hand `sltu rd, x0, rs2` its rs2 as operand one.
         let mut srcs = [0u64; 3];
-        let mut nsrcs = 0usize;
-        for &(fp, p) in e.phys_srcs.iter().flatten() {
-            srcs[nsrcs] = self.read_src(fp, p);
-            nsrcs += 1;
+        for (i, s) in e.phys_srcs.iter().enumerate() {
+            if let Some((fp, p)) = s {
+                srcs[i] = self.read_src(*fp, *p);
+            }
         }
-        let v = |i: usize| if i < nsrcs { srcs[i] } else { 0 };
+        let v = |i: usize| srcs[i];
 
         let mut value = 0u64;
         let mut fflags = 0u64;
         let mut taken = false;
         let mut target = 0u64;
         if let Some(b) = fused {
-            let (v1, vo) = if d.op == Op::Lui {
-                (0, v(0))
-            } else {
-                (v(0), v(1))
-            };
-            value = exec_fused(&d, &b, v1, vo);
+            value = exec_fused(&d, &b, v(0), v(1));
         } else if d.is_branch() {
             taken = branch_taken(d.op, v(0), v(1));
             target = pc.wrapping_add(d.imm as u64);
@@ -989,11 +998,8 @@ impl Core {
             value = r;
         } else {
             // Floating point through the host FPU.
-            let a = v(0);
-            let b = if nsrcs > 1 { v(1) } else { 0 };
-            let c = if nsrcs > 2 { v(2) } else { 0 };
             let rm = if d.rm == 7 { self.csr.frm() } else { d.rm };
-            let r = fp_execute(d.op, a, b, c, rm);
+            let r = fp_execute(d.op, v(0), v(1), v(2), rm);
             value = r.bits;
             fflags = r.flags;
         }
@@ -1556,6 +1562,11 @@ impl Core {
                             .flatten()
                             .map(|(fp, p)| self.read_src(fp, p))
                             .unwrap_or(0);
+                        self.perf.sc_successes += 1;
+                        // This decision is the linearization point: other
+                        // harts' reservations on the granule must die NOW,
+                        // not when the store completes in memory.
+                        out.res_kills.push((pa, size));
                         self.commit_stall = CommitStall::AtomicStorePending {
                             old: 0,
                             newv: data,
@@ -1616,7 +1627,7 @@ impl Core {
         let _ = seq;
     }
 
-    fn atomic_loaded(&mut self, mem: &mut MemSystem, raw: u64) {
+    fn atomic_loaded(&mut self, mem: &mut MemSystem, raw: u64, out: &mut CycleOutput) {
         let CommitStall::AtomicLoad { pa } = self.commit_stall else {
             return;
         };
@@ -1650,6 +1661,9 @@ impl Core {
             .unwrap_or(0);
         let newv = riscv_isa::exec::amo_compute(d.op, old, src);
         let size = d.mem_size();
+        // The AMO's write linearizes here (the line is exclusive): kill
+        // remote reservations on the granule this cycle.
+        out.res_kills.push((pa, size));
         self.commit_stall = CommitStall::AtomicStorePending {
             old,
             newv,
@@ -2464,6 +2478,7 @@ impl Core {
             let end = (paddr + size - 1) & !(RESERVATION_GRANULE - 1);
             if g == start || g == end {
                 self.reservation = None;
+                self.perf.reservation_snoop_kills += 1;
             }
         }
     }

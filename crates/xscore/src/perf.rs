@@ -116,6 +116,13 @@ pub struct PerfCounters {
     pub exceptions: u64,
     /// SC instructions that failed.
     pub sc_failures: u64,
+    /// SC instructions that succeeded (decided at commit).
+    pub sc_successes: u64,
+    /// LR reservations killed by a remote hart's store (snoop).
+    pub reservation_snoop_kills: u64,
+    /// Committed stores drained from the store buffer into the hierarchy
+    /// (plus atomic writes).
+    pub sbuffer_drains: u64,
     /// Register moves eliminated at rename.
     pub moves_eliminated: u64,
     /// Cycles in which rename stalled because the ROB was full.

@@ -27,7 +27,10 @@ impl XsSystem {
 
     /// Build from a pre-populated physical memory.
     pub fn from_memory(cfg: XsConfig, backing: SparseMemory, boot_pc: u64) -> Self {
-        let mem = MemSystem::new(cfg.mem_system_config(), cfg.memory.build(), backing);
+        let mut mem = MemSystem::new(cfg.mem_system_config(), cfg.memory.build(), backing);
+        if cfg.inject_l2_race {
+            mem.inject_l2_race_bug(0);
+        }
         let cores = (0..cfg.cores)
             .map(|h| Core::new(cfg.clone(), h, boot_pc))
             .collect();
@@ -57,16 +60,34 @@ impl XsSystem {
             // per-core filter copy needed.
             self.cores[0].tick_into(&mut self.mem, &completions, &mut outs[0]);
         } else {
-            for (h, core) in self.cores.iter_mut().enumerate() {
+            for h in 0..self.cores.len() {
                 let mine: Vec<_> = completions
                     .iter()
                     .filter(|c| c.req.core == h)
                     .cloned()
                     .collect();
-                core.tick_into(&mut self.mem, &mine, &mut outs[h]);
+                self.cores[h].tick_into(&mut self.mem, &mine, &mut outs[h]);
+                // Same-cycle reservation snoop: an SC success or AMO write
+                // decided during hart `h`'s tick linearizes *now* — later
+                // harts in this cycle (and everyone next cycle) must see
+                // their reservation dead before deciding their own SC.
+                // Waiting for the store's completion drain leaves a full
+                // round-trip window where both harts' SCs succeed from the
+                // same loaded value.
+                if !outs[h].res_kills.is_empty() {
+                    let (before, rest) = self.cores.split_at_mut(h);
+                    let after = &mut rest[1..];
+                    for &(paddr, size) in &outs[h].res_kills {
+                        for core in before.iter_mut().chain(after.iter_mut()) {
+                            core.snoop_remote_store(paddr, size);
+                        }
+                    }
+                }
             }
         }
-        // Cross-core reservation snooping on drained stores.
+        // Cross-core reservation snooping on drained stores (plain-store
+        // visibility; atomic kills already fired at decision time above,
+        // a second overlapping snoop is a harmless no-op).
         if self.cores.len() > 1 {
             let drains: Vec<(usize, u64, u64)> = outs
                 .iter()
@@ -506,6 +527,84 @@ mod tests {
         let mut sys = XsSystem::new(cfg, &p);
         let code = sys.run(2_000_000);
         assert_eq!(code, Some(150), "50*1 + 50*2 from both harts");
+    }
+
+    /// Build the two-hart reservation-kill scenario: hart 0 takes an LR
+    /// on `line`, signals hart 1, waits for hart 1 to store `0xaa` at
+    /// `victim` and acknowledge, then attempts the SC back to `line`.
+    /// Returns `(sc_result, final value at line)` packed by the program
+    /// as `a0 = sc_result * 256 + (loaded & 0xff)`.
+    fn run_cross_hart_sc(line: i64, victim: i64) -> (Option<u64>, XsSystem) {
+        let flag = 0x8002_1000i64; // hart0 -> hart1: "LR taken"
+        let ack = 0x8002_1040i64; // hart1 -> hart0: "store drained"
+        let mut a = Asm::new(0x8000_0000);
+        let hart1 = a.label();
+        a.csrrs(T0, riscv_isa::csr::addr::MHARTID, ZERO);
+        a.bnez(T0, hart1);
+        // hart 0: reserve, signal, wait, attempt the SC.
+        a.li(S0, line);
+        a.lr_d(T1, S0);
+        a.li(T2, 1);
+        a.li(T3, flag);
+        a.sd(T2, 0, T3);
+        a.li(T3, ack);
+        let wait = a.bound_label();
+        a.ld(T4, 0, T3);
+        a.beqz(T4, wait);
+        a.li(T5, 7);
+        a.sc_d(T6, T5, S0); // t6 = 0 on success, 1 on failure
+        a.ld(A1, 0, S0);
+        a.andi(A1, A1, 0xff);
+        a.slli(A0, T6, 8);
+        a.add(A0, A0, A1);
+        a.ebreak();
+        // hart 1: wait for the reservation, dirty the victim line, ack.
+        a.bind(hart1);
+        a.li(T3, flag);
+        let spin = a.bound_label();
+        a.ld(T4, 0, T3);
+        a.beqz(T4, spin);
+        a.li(S1, victim);
+        a.li(T5, 0xaa);
+        a.sd(T5, 0, S1);
+        a.fence();
+        a.li(T3, ack);
+        a.li(T4, 1);
+        a.sd(T4, 0, T3);
+        a.li(A0, 0);
+        a.ebreak();
+        let p = a.assemble();
+        let mut cfg = tiny_cfg();
+        cfg.cores = 2;
+        let mut sys = XsSystem::new(cfg, &p);
+        let code = sys.run(2_000_000);
+        (code, sys)
+    }
+
+    #[test]
+    fn remote_store_kills_reservation() {
+        // Hart 1 writes the very line hart 0 reserved: the SC must fail
+        // and the remote value must survive.
+        let line = 0x8002_0000i64;
+        let (code, sys) = run_cross_hart_sc(line, line);
+        assert_eq!(code, Some(0x1aa), "SC fails (1) and memory keeps 0xaa");
+        assert!(
+            sys.cores[0].perf.reservation_snoop_kills > 0,
+            "the failure must come from the cross-hart snoop"
+        );
+        assert_eq!(sys.cores[0].perf.sc_successes, 0);
+        assert_eq!(sys.cores[0].perf.sc_failures, 1);
+    }
+
+    #[test]
+    fn remote_store_to_other_line_preserves_reservation() {
+        // Negative control: hart 1 writes a different reservation granule;
+        // hart 0's SC must succeed and its value must land.
+        let line = 0x8002_0000i64;
+        let (code, sys) = run_cross_hart_sc(line, line + 128);
+        assert_eq!(code, Some(0x007), "SC succeeds (0) and stores 7");
+        assert_eq!(sys.cores[0].perf.sc_successes, 1);
+        assert_eq!(sys.cores[0].perf.sc_failures, 0);
     }
 
     #[test]

@@ -37,24 +37,30 @@ pub struct Uop {
 
 impl Uop {
     /// Build a uop from one decoded instruction.
+    ///
+    /// Source slots are positional — `srcs[0]` is rs1, `srcs[1]` rs2,
+    /// `srcs[2]` rs3 — with `None` for an unused operand or the integer
+    /// zero register. Everything downstream (rename, wakeup, execute)
+    /// relies on the position, so an x0 operand must leave a hole, not
+    /// compact the array: `sltu rd, x0, rs2` reads its one source as
+    /// operand *two*.
     pub fn new(pc: u64, inst: DecodedInst, pred: Option<BranchPrediction>, npc: u64) -> Self {
         let mut srcs = [None; 3];
-        let mut n = 0;
-        let mut push = |fp: bool, idx: u8| {
+        let slot = |fp: bool, idx: u8| {
             if !fp && idx == 0 {
-                return;
+                None
+            } else {
+                Some(SrcReg { fp, idx })
             }
-            srcs[n] = Some(SrcReg { fp, idx });
-            n += 1;
         };
         if uses_rs1(&inst) {
-            push(inst.rs1_is_fpr(), inst.rs1);
+            srcs[0] = slot(inst.rs1_is_fpr(), inst.rs1);
         }
         if uses_rs2(&inst) {
-            push(inst.rs2_is_fpr(), inst.rs2);
+            srcs[1] = slot(inst.rs2_is_fpr(), inst.rs2);
         }
         if inst.is_fma() {
-            push(true, inst.rs3);
+            srcs[2] = slot(true, inst.rs3);
         }
         let dest = if inst.writes_fpr() {
             Some(SrcReg {
@@ -186,20 +192,19 @@ pub fn exec_fused(a: &DecodedInst, b: &DecodedInst, v_rs1_a: u64, v_other: u64) 
 pub fn fuse(pc: u64, a: DecodedInst, b: DecodedInst, npc: u64) -> Uop {
     let mut u = Uop::new(pc, a, None, npc);
     u.fused = Some(b);
-    // Sources: a.rs1 (unless lui) plus b's non-chained source.
+    // Positional sources: slot 0 is a.rs1 (absent for lui), slot 1 is
+    // b's non-chained operand — `exec_fused` reads them by position.
     let mut srcs = [None; 3];
-    let mut n = 0;
     if a.op != Op::Lui && a.rs1 != 0 {
-        srcs[n] = Some(SrcReg {
+        srcs[0] = Some(SrcReg {
             fp: false,
             idx: a.rs1,
         });
-        n += 1;
     }
     if b.op == Op::Add {
         let other = if b.rs1 == a.rd { b.rs2 } else { b.rs1 };
         if other != 0 {
-            srcs[n] = Some(SrcReg {
+            srcs[1] = Some(SrcReg {
                 fp: false,
                 idx: other,
             });

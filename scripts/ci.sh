@@ -21,7 +21,13 @@
 #      byte-identical deterministic report bodies with coverage growing
 #      strictly round-over-round, and an injected-bug fuzz campaign must
 #      find, triage, and replay the divergence,
-#   8. a bench smoke — scripts/bench.sh emits a schema-clean
+#   8. an mp smoke — two identical 12-job multi-hart litmus fuzz
+#      rounds must emit byte-identical deterministic report bodies,
+#      divergence-free with live `mp:` coherence coverage, and the same
+#      campaign with the §IV-C L2 probe/grant race injected must raise
+#      a ForbiddenOutcome, minimize it, bundle it, and `replay
+#      --bundle` must reproduce it at the identical commit index,
+#   9. a bench smoke — scripts/bench.sh emits a schema-clean
 #      BENCH_fig8.json covering every interpreter personality and the
 #      cycle model on both small presets; the regenerated cycle_model
 #      body (cycles / instret / cpi_milli) must match the committed
@@ -62,7 +68,7 @@ timeout 600 target/release/campaign \
 python3 - "$report" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 4, r["schema_version"]
+assert r["schema_version"] == 5, r["schema_version"]
 s = r["summary"]
 assert s["total"] == 12 and s["halted"] == 12, s
 assert len(r["jobs"]) == 12
@@ -138,7 +144,7 @@ fi
 bundle_file="$(python3 - "$triage_report" "$bundle_dir" <<'EOF'
 import json, os, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 4, r["schema_version"]
+assert r["schema_version"] == 5, r["schema_version"]
 diverged = [j for j in r["jobs"] if "Diverged" in j["verdict"]]
 assert diverged, "injected bug produced no divergence"
 bundled = [j for j in diverged if j.get("triage")]
@@ -186,13 +192,13 @@ fi
 life_bundle="$(python3 - "$life_report" "$life_bundles" <<'EOF'
 import json, os, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 4, r["schema_version"]
+assert r["schema_version"] == 5, r["schema_version"]
 assert len(r["jobs"]) == 12, len(r["jobs"])
 bundled = [j for j in r["jobs"] if j.get("triage")]
 assert bundled, "injected bug produced no triage bundle"
 for j in bundled:
     b = j["triage"]
-    assert b["schema_version"] == 3, b["schema_version"]
+    assert b["schema_version"] == 4, b["schema_version"]
     ring = b["lifecycle_ring"]
     assert ring, f"job {j['index']}: bundle has an empty crash ring"
     assert len(ring) <= 64, f"job {j['index']}: ring overflows its cap: {len(ring)}"
@@ -230,7 +236,7 @@ python3 - "$life_a" "$life_b" <<'EOF'
 import json, sys
 a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
-assert a["schema_version"] == 4, a["schema_version"]
+assert a["schema_version"] == 5, a["schema_version"]
 for r in (a, b):
     del r["timing"]
 assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
@@ -262,7 +268,7 @@ python3 - "$fuzz_a" "$fuzz_b" <<'EOF'
 import json, sys
 a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
-assert a["schema_version"] == 4, a["schema_version"]
+assert a["schema_version"] == 5, a["schema_version"]
 for r in (a, b):
     del r["timing"]
 assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
@@ -315,11 +321,89 @@ EOF
 echo "fuzz bug bundle: $fuzz_bundle"
 timeout 300 target/release/replay --bundle "$fuzz_bundle"
 
+echo "== tier-1: mp smoke (litmus determinism + coherence coverage) =="
+mp_a="$(mktemp /tmp/mp-smoke-a.XXXXXX.json)"
+mp_b="$(mktemp /tmp/mp-smoke-b.XXXXXX.json)"
+mp_race="$(mktemp /tmp/mp-race.XXXXXX.json)"
+mp_bundles="$(mktemp -d /tmp/mp-bundles.XXXXXX)"
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$life_a" "$life_b" "$fuzz_a" "$fuzz_b" "$fuzz_bug" "$mp_a" "$mp_b" "$mp_race"; rm -rf "$bundle_dir" "$fuzz_bundles" "$mp_bundles"' EXIT
+# Same seed twice on the dual-core preset: the deterministic body must
+# be byte-identical, every job must halt with an allowed outcome, and
+# the coherence (`mp:`) coverage family must be live.
+for f in "$mp_a" "$mp_b"; do
+    timeout 600 target/release/campaign \
+        --fuzz --mp --rounds 1 --fuzz-jobs 12 --fuzz-seed 0 \
+        --configs small-nh \
+        --max-cycles 400000 \
+        --workers 4 \
+        --out "$f"
+done
+
+python3 - "$mp_a" "$mp_b" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a["schema_version"] == 5, a["schema_version"]
+for r in (a, b):
+    del r["timing"]
+assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
+    "mp campaign bodies differ between identical runs"
+s = a["summary"]
+assert s["total"] == 12 and s["halted"] == 12, s
+assert s["diverged"] == 0 and s["forbidden"] == 0, s
+mp = set()
+for j in a["jobs"]:
+    mp |= {k for k, n in (j.get("coverage") or {}).get("mp") or [] if n > 0}
+assert mp, "mp campaign recorded no coherence coverage"
+print("mp smoke OK: deterministic body, mp features:", sorted(mp))
+EOF
+
+echo "== tier-1: mp smoke (L2 probe/grant race -> forbidden outcome -> replay) =="
+# The injected probe/grant race corrupts a litmus line inside its race
+# window; the outcome oracle must flag the forbidden observation, so
+# the campaign exits 1 by contract.
+set +e
+timeout 600 target/release/campaign \
+    --fuzz --mp --rounds 1 --fuzz-jobs 12 --fuzz-seed 0 \
+    --configs small-nh \
+    --inject-l2-race \
+    --max-cycles 400000 \
+    --workers 4 \
+    --bundle-dir "$mp_bundles" \
+    --out "$mp_race"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "mp race smoke: expected exit 1 (forbidden outcomes), got $rc" >&2
+    exit 1
+fi
+
+mp_bundle="$(python3 - "$mp_race" "$mp_bundles" <<'EOF'
+import json, os, sys
+r = json.load(open(sys.argv[1]))
+assert r["summary"]["forbidden"] >= 1, r["summary"]
+bad = [j for j in r["jobs"] if "ForbiddenOutcome" in j["verdict"]]
+assert bad, "forbidden tally has no matching job verdict"
+j = bad[0]
+m = j["minimized"]
+assert m and m["error_class"] == "ForbiddenOutcome", m
+assert m["litmus"] and not m["torture"], "minimized repro lost its litmus recipe"
+b = j["triage"]
+assert b and b["trigger"] == "forbidden-outcome" and b["reproduced"], b
+assert b["forbidden_exit"], "bundle lacks the forbidden exit word"
+path = os.path.join(sys.argv[2], f"job{j['index']}.bundle.json")
+assert os.path.exists(path), f"bundle file missing: {path}"
+print(path)
+EOF
+)"
+echo "mp race bundle: $mp_bundle"
+timeout 300 target/release/replay --bundle "$mp_bundle"
+
 echo "== tier-1: bench smoke (BENCH_fig8.json + --ref nemu-trace campaign) =="
 bench_json="$(mktemp /tmp/bench-smoke.XXXXXX.json)"
 trace_a="$(mktemp /tmp/trace-ref-a.XXXXXX.json)"
 trace_b="$(mktemp /tmp/trace-ref-b.XXXXXX.json)"
-trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$life_a" "$life_b" "$fuzz_a" "$fuzz_b" "$fuzz_bug" "$bench_json" "$trace_a" "$trace_b"; rm -rf "$bundle_dir" "$fuzz_bundles"' EXIT
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$life_a" "$life_b" "$fuzz_a" "$fuzz_b" "$fuzz_bug" "$mp_a" "$mp_b" "$mp_race" "$bench_json" "$trace_a" "$trace_b"; rm -rf "$bundle_dir" "$fuzz_bundles" "$mp_bundles"' EXIT
 # Reduced fuel keeps the leg fast; the committed BENCH_fig8.json (which
 # golden_bench pins for speed ordering) is generated at full budget.
 MINJIE_BENCH_FUEL=20000000 MINJIE_BENCH_OUT="$bench_json" scripts/bench.sh

@@ -10,6 +10,7 @@
 //!          [--bundle-dir DIR] [--job-timeout-ms N] [--retries N]
 //!          [--retry-backoff-ms N] [--out report.json]
 //! campaign --fuzz [--rounds N] [--fuzz-jobs N] [--fuzz-seed N]
+//!          [--mp] [--inject-l2-race]
 //!          [--corpus-dir DIR] [--configs ...] [the flags above]
 //! ```
 //!
@@ -38,6 +39,7 @@ fn usage(err: &str) -> ! {
          \x20               [--job-timeout-ms N] [--retries N] [--retry-backoff-ms N]\n\
          \x20               [--out FILE]\n\
          \x20      campaign --fuzz [--rounds N] [--fuzz-jobs N] [--fuzz-seed N]\n\
+         \x20               [--mp] [--inject-l2-race]\n\
          \x20               [--corpus-dir DIR] [--configs c1,c2] [shared flags above]\n\
          kernels: {}\n\
          configs: {}\n\
@@ -74,6 +76,8 @@ fn main() {
     let mut fuzz_jobs = 8usize;
     let mut fuzz_seed = 0u64;
     let mut corpus_dir: Option<String> = None;
+    let mut mp = false;
+    let mut inject_l2_race = false;
     let mut coverage = false;
     let mut inject: Option<InjectedBug> = None;
     let mut ref_model: Option<String> = None;
@@ -119,6 +123,8 @@ fn main() {
                 fuzz_seed = value().parse().unwrap_or_else(|_| usage("bad --fuzz-seed"));
             }
             "--corpus-dir" => corpus_dir = Some(value()),
+            "--mp" => mp = true,
+            "--inject-l2-race" => inject_l2_race = true,
             "--coverage" => coverage = true,
             "--lightsss" => {
                 lightsss = Some(value().parse().unwrap_or_else(|_| usage("bad --lightsss")));
@@ -185,6 +191,8 @@ fn main() {
             triage,
             lifecycle,
             ref_model: ref_model.clone(),
+            mp,
+            inject_l2_race,
         };
         eprintln!(
             "fuzz campaign: {} rounds x {} jobs on {} workers (seed {})",
@@ -212,6 +220,9 @@ fn main() {
         }
         outcome.report
     } else {
+        if mp {
+            usage("--mp schedules litmus recipes: it requires --fuzz");
+        }
         if kernels.is_empty() && seeds.is_empty() {
             usage("nothing to run: give --workloads and/or --torture-seeds (or --fuzz)");
         }
@@ -235,6 +246,9 @@ fn main() {
                 }
                 if let Some(bug) = inject {
                     spec = spec.with_injected_bug(bug);
+                }
+                if inject_l2_race {
+                    spec = spec.with_l2_race();
                 }
                 if telemetry {
                     spec = spec.with_telemetry();
@@ -288,6 +302,25 @@ fn main() {
                 " minimized {}→{} slots in {} runs",
                 m.original_kept, m.minimized_kept, m.minimizer_runs
             ),
+            (
+                Verdict::ForbiddenOutcome {
+                    round,
+                    outcome_desc,
+                    ..
+                },
+                m,
+            ) => {
+                let min = m
+                    .as_ref()
+                    .map(|m| {
+                        format!(
+                            " minimized {}→{} rounds in {} runs",
+                            m.original_kept, m.minimized_kept, m.minimizer_runs
+                        )
+                    })
+                    .unwrap_or_default();
+                format!(" round {round}: {outcome_desc}{min}")
+            }
             (Verdict::Panicked { message }, _) => format!(" ({message})"),
             _ => String::new(),
         };
@@ -303,8 +336,9 @@ fn main() {
     }
     let s = &report.summary;
     eprintln!(
-        "summary: {} jobs — {} halted, {} diverged, {} timeout, {} panicked ({} ms)",
-        s.total, s.halted, s.diverged, s.timeout, s.panicked, report.wall_clock.total_ms
+        "summary: {} jobs — {} halted, {} diverged, {} forbidden, {} timeout, {} panicked ({} ms)",
+        s.total, s.halted, s.diverged, s.forbidden, s.timeout, s.panicked,
+        report.wall_clock.total_ms
     );
 
     let json = report.full_json();

@@ -786,3 +786,125 @@ fn trace_pin_indirect_jump_retarget_repatches_chains() {
         t.stats
     );
 }
+
+// ---------------------------------------------------------------------
+// RV64A — full AMO matrix and SC corner cases (the REF side of the
+// multi-hart litmus oracle, pinned single-hart first)
+// ---------------------------------------------------------------------
+
+/// Encode an AMO/LR/SC instruction with explicit aq/rl bits (the asm
+/// helpers only cover the relaxed forms).
+fn amo32(funct5: u32, aq: bool, rl: bool, width_d: bool, rd: u8, rs2: u8, rs1: u8) -> u32 {
+    funct5 << 27
+        | (aq as u32) << 26
+        | (rl as u32) << 25
+        | (rs2 as u32) << 20
+        | (rs1 as u32) << 15
+        | (if width_d { 0b011 } else { 0b010 }) << 12
+        | (rd as u32) << 7
+        | 0x2f
+}
+
+/// amoswap/amoadd/amoand/amoor/amomin/amomax × {w, d} × {aq, rl}
+/// combinations, all personalities against the pure `amo_compute`
+/// semantics: `rd` receives the old (width-extended) value, memory the
+/// computed word.
+#[test]
+fn rv64a_amo_matrix_all_widths_aqrl() {
+    const OPS: &[(u32, Op, Op)] = &[
+        (0b00001, Op::AmoswapW, Op::AmoswapD),
+        (0b00000, Op::AmoaddW, Op::AmoaddD),
+        (0b01100, Op::AmoandW, Op::AmoandD),
+        (0b01000, Op::AmoorW, Op::AmoorD),
+        (0b10000, Op::AmominW, Op::AmominD),
+        (0b10100, Op::AmomaxW, Op::AmomaxD),
+    ];
+    let splice = |cell: u64, word: u64| (cell & !0xffff_ffff) | (word & 0xffff_ffff);
+    let mut a = Asm::new(BASE);
+    let cell = a.label();
+    a.la(S0, cell);
+    let init = 0xfedc_ba98_7654_3210u64;
+    a.li(T0, init as i64);
+    a.sd(T0, 0, S0);
+    a.li(A0, 0);
+    let mut model_cell = init;
+    let mut model_a0 = 0u64;
+    let mut case = 0u64;
+    for &(funct5, op_w, op_d) in OPS {
+        for width_d in [false, true] {
+            for (aq, rl) in [(false, false), (true, false), (false, true), (true, true)] {
+                // Deterministic source value with sign-bit coverage in
+                // both widths.
+                case += 1;
+                let src = 0x9e37_79b9_7f4a_7c15u64
+                    .wrapping_mul(case)
+                    .rotate_left((case % 61) as u32);
+                a.li(T3, src as i64);
+                a.raw32(amo32(funct5, aq, rl, width_d, T4, T3, S0));
+                a.add(A0, A0, T4);
+                let (old_rd, new_cell) = if width_d {
+                    (model_cell, amo_compute(op_d, model_cell, src))
+                } else {
+                    (
+                        riscv_isa::exec::load_extend(Op::Lw, model_cell),
+                        splice(model_cell, amo_compute(op_w, model_cell, src)),
+                    )
+                };
+                model_a0 = model_a0.wrapping_add(old_rd);
+                model_cell = new_cell;
+            }
+        }
+    }
+    a.ld(S1, 0, S0);
+    a.add(A0, A0, S1);
+    a.ebreak();
+    a.align(3);
+    a.bind(cell);
+    a.zeros(8);
+    assert_eq!(conform(&a.assemble()), model_a0.wrapping_add(model_cell));
+}
+
+/// SC without a prior LR fails; SC to a different reservation granule
+/// than the LR fails and leaves memory intact; a failed SC consumes the
+/// reservation, so the next LR/SC pair (with aq/rl set) succeeds.
+#[test]
+fn rv64a_sc_corner_cases() {
+    let mut a = Asm::new(BASE);
+    let cell_a = a.label();
+    let cell_b = a.label();
+    a.la(S0, cell_a);
+    a.la(S1, cell_b);
+    a.li(T0, 0x11);
+    a.sd(T0, 0, S0);
+    a.li(T0, 0x22);
+    a.sd(T0, 0, S1);
+    a.li(T1, 0x99);
+    // SC with no reservation at all: both widths fail.
+    a.sc_d(T2, T1, S0); // t2 = 1
+    a.sc_w(T3, T1, S0); // t3 = 1
+    // LR cell A, SC cell B (a different 64-byte granule): fails, and
+    // cell B keeps its value.
+    a.lr_d(T4, S0); // t4 = 0x11
+    a.sc_d(T5, T1, S1); // t5 = 1
+    // The failed SC consumed the reservation; a fresh LR.aq/SC.rl pair
+    // (raw-encoded — the helpers are relaxed-only) succeeds.
+    a.raw32(amo32(0b00010, true, false, true, T6, ZERO, S0)); // lr.d.aq t6 = 0x11
+    a.addi(T6, T6, 1);
+    a.raw32(amo32(0b00011, false, true, true, S2, T6, S0)); // sc.d.rl s2 = 0
+    a.ld(S3, 0, S0); // 0x12
+    a.ld(S4, 0, S1); // 0x22 (unharmed by the wrong-granule SC)
+    a.add(A0, T2, T3);
+    a.add(A0, A0, T5);
+    a.slli(S2, S2, 4); // any successful-SC drift lands loudly in a0
+    a.add(A0, A0, S2);
+    a.add(A0, A0, T4);
+    a.add(A0, A0, S3);
+    a.add(A0, A0, S4);
+    a.ebreak();
+    a.align(3);
+    a.bind(cell_a);
+    a.zeros(64);
+    a.bind(cell_b);
+    a.zeros(8);
+    assert_eq!(conform(&a.assemble()), 1 + 1 + 1 + 0x11 + 0x12 + 0x22);
+}
