@@ -15,7 +15,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 4,
 //!   "figure": "fig8",
 //!   "workload": "spec-like-suite@Test",
 //!   "fuel": 200000000,
@@ -24,7 +24,8 @@
 //!   },
 //!   "campaign": { "ref": "nemu-trace", "jobs": 12, "halted": 12 },
 //!   "cycle_model": {
-//!     "small-nh": { "cycles": 456, "instret": 123, "cpi_milli": 3707 }
+//!     "small-nh": { "cycles": 456, "instret": 123, "cpi_milli": 3707,
+//!                   "sampled_cpi_milli": 3800, "sampled_cpi_err_milli": 25 }
 //!   },
 //!   "timing": {
 //!     "mips": { "nemu-trace": 512.3 },
@@ -50,7 +51,23 @@ use xscore::XsConfig;
 /// v3: adds `timing.sim_kilocycles_per_sec_by_workload` (per-preset,
 /// per-workload rates) so the event-driven skipper's gain on the
 /// DRAM-stall-heavy suite entries is measured, not just the aggregate.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: adds per-preset `sampled_cpi_milli` and `sampled_cpi_err_milli`
+/// to the `cycle_model` entries: the checkpoint farm's SimPoint-weighted
+/// CPI estimate of [`SAMPLED_WORKLOAD`] and its per-mille error against
+/// the full simulation of the same workload. Both deterministic; the
+/// validator enforces the [`SAMPLED_ERR_BOUND_MILLI`] accuracy gate.
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// The workload whose sampled-vs-full CPI error the report tracks.
+pub const SAMPLED_WORKLOAD: &str = "sjeng";
+
+/// Maximum tolerated sampled-vs-full CPI error, per mille (25%): the
+/// paper reports ~3% SimPoint error at production interval sizes; the
+/// test-scale intervals here are far coarser, so the gate is loose —
+/// but a regression that breaks checkpoint restore or weighting blows
+/// well past it.
+pub const SAMPLED_ERR_BOUND_MILLI: u64 = 250;
 
 /// Cycle-model presets tracked by the report, in sorted order (the
 /// validator pins the key set, so keep this in sync with the presets
@@ -94,6 +111,12 @@ pub struct CycleModelMeasurement {
     pub instret: u64,
     /// Suite CPI scaled by 1000, integer (deterministic).
     pub cpi_milli: u64,
+    /// Checkpoint-farm weighted CPI estimate of [`SAMPLED_WORKLOAD`],
+    /// milli-units (deterministic).
+    pub sampled_cpi_milli: u64,
+    /// Per-mille error of the sampled estimate against the full
+    /// simulation of [`SAMPLED_WORKLOAD`] (deterministic).
+    pub sampled_cpi_err_milli: u64,
     /// Simulation throughput, thousand simulated cycles per second.
     pub kilocycles_per_sec: f64,
     /// Per-workload throughput (workload name, kilocycles/sec): the
@@ -147,7 +170,8 @@ pub fn measure_cycle_model(scale: Scale, max_cycles: u64) -> Vec<CycleModelMeasu
     let event_driven = std::env::var("MINJIE_BENCH_EVENT_DRIVEN")
         .map(|v| v != "0")
         .unwrap_or(true);
-    CYCLE_PRESETS
+    let mut full_cpi_milli: Vec<(String, u64)> = Vec::new();
+    let mut out: Vec<CycleModelMeasurement> = CYCLE_PRESETS
         .iter()
         .map(|preset| {
             let mut cycles = 0u64;
@@ -164,6 +188,12 @@ pub fn measure_cycle_model(scale: Scale, max_cycles: u64) -> Vec<CycleModelMeasu
                 let w_elapsed = w0.elapsed().as_secs_f64();
                 cycles += stats.cycles;
                 instret += stats.instret;
+                if w.name == SAMPLED_WORKLOAD {
+                    full_cpi_milli.push((
+                        preset.to_string(),
+                        stats.cycles.saturating_mul(1000) / stats.instret.max(1),
+                    ));
+                }
                 per_workload.push((
                     w.name.to_string(),
                     stats.cycles as f64 / w_elapsed.max(1e-9) / 1e3,
@@ -175,11 +205,42 @@ pub fn measure_cycle_model(scale: Scale, max_cycles: u64) -> Vec<CycleModelMeasu
                 cycles,
                 instret,
                 cpi_milli: cycles.saturating_mul(1000) / instret.max(1),
+                sampled_cpi_milli: 0,
+                sampled_cpi_err_milli: 0,
                 kilocycles_per_sec: cycles as f64 / elapsed.max(1e-9) / 1e3,
                 per_workload,
             }
         })
-        .collect()
+        .collect();
+
+    // The checkpoint-farm accuracy tier: one sampled pass over
+    // SAMPLED_WORKLOAD for every tracked preset (the workload is
+    // profiled once, shared across presets), then the per-mille error
+    // against the full simulation measured above.
+    let spec = campaign::SampleSpec::new(
+        vec![SAMPLED_WORKLOAD.into()],
+        CYCLE_PRESETS.iter().map(|s| s.to_string()).collect(),
+    )
+    .with_max_cycles(max_cycles);
+    let mut spec = spec;
+    spec.triage = false;
+    let sampled = campaign::run_sampled(&spec);
+    for m in &mut out {
+        let sm = sampled
+            .sampling
+            .iter()
+            .find(|s| s.config == m.preset)
+            .expect("sampled pass covers every tracked preset");
+        let full = full_cpi_milli
+            .iter()
+            .find(|(p, _)| *p == m.preset)
+            .map(|(_, c)| *c)
+            .expect("suite contains the sampled workload");
+        m.sampled_cpi_milli = sm.weighted_cpi_milli;
+        m.sampled_cpi_err_milli =
+            full.abs_diff(sm.weighted_cpi_milli).saturating_mul(1000) / full.max(1);
+    }
+    out
 }
 
 /// Run a fixed-seed smoke campaign against `reference` and measure
@@ -244,6 +305,11 @@ pub fn build_report(
         entry.insert("cycles".into(), Value::U64(c.cycles));
         entry.insert("instret".into(), Value::U64(c.instret));
         entry.insert("cpi_milli".into(), Value::U64(c.cpi_milli));
+        entry.insert("sampled_cpi_milli".into(), Value::U64(c.sampled_cpi_milli));
+        entry.insert(
+            "sampled_cpi_err_milli".into(),
+            Value::U64(c.sampled_cpi_err_milli),
+        );
         cmap.insert(c.preset.clone(), Value::Object(entry));
         kcps.insert(c.preset.clone(), Value::F64(c.kilocycles_per_sec));
         let mut per_wl = Map::new();
@@ -360,7 +426,17 @@ pub fn validate(v: &Value) -> Result<(), String> {
     expect_keys(cm, "cycle_model", &CYCLE_PRESETS)?;
     for preset in CYCLE_PRESETS {
         let entry = cm.get_or_null(preset);
-        expect_keys(entry, preset, &["cpi_milli", "cycles", "instret"])?;
+        expect_keys(
+            entry,
+            preset,
+            &[
+                "cpi_milli",
+                "cycles",
+                "instret",
+                "sampled_cpi_err_milli",
+                "sampled_cpi_milli",
+            ],
+        )?;
         let cycles = entry.get_or_null("cycles").as_u64().unwrap_or(0);
         let instret = entry.get_or_null("instret").as_u64().unwrap_or(0);
         let cpi_milli = entry.get_or_null("cpi_milli").as_u64().unwrap_or(0);
@@ -370,6 +446,23 @@ pub fn validate(v: &Value) -> Result<(), String> {
         if cpi_milli != cycles.saturating_mul(1000) / instret {
             return Err(format!(
                 "{preset}: cpi_milli {cpi_milli} inconsistent with cycles/instret"
+            ));
+        }
+        let sampled = entry
+            .get_or_null("sampled_cpi_milli")
+            .as_u64()
+            .unwrap_or(0);
+        if sampled == 0 {
+            return Err(format!("{preset}: sampled_cpi_milli must be positive"));
+        }
+        let err = entry
+            .get_or_null("sampled_cpi_err_milli")
+            .as_u64()
+            .unwrap_or(u64::MAX);
+        if err > SAMPLED_ERR_BOUND_MILLI {
+            return Err(format!(
+                "{preset}: sampled CPI error {err} per mille exceeds the \
+                 {SAMPLED_ERR_BOUND_MILLI} per-mille accuracy gate"
             ));
         }
     }
@@ -462,6 +555,22 @@ pub fn cpi_milli_of(v: &Value, preset: &str) -> Option<u64> {
         .as_u64()
 }
 
+/// The checkpoint-farm weighted CPI×1000 for `preset`, if present.
+pub fn sampled_cpi_milli_of(v: &Value, preset: &str) -> Option<u64> {
+    v.get_or_null("cycle_model")
+        .get_or_null(preset)
+        .get("sampled_cpi_milli")?
+        .as_u64()
+}
+
+/// The sampled-vs-full per-mille CPI error for `preset`, if present.
+pub fn sampled_cpi_err_milli_of(v: &Value, preset: &str) -> Option<u64> {
+    v.get_or_null("cycle_model")
+        .get_or_null(preset)
+        .get("sampled_cpi_err_milli")?
+        .as_u64()
+}
+
 /// The deterministic body: the report with `timing` removed, rendered
 /// as canonical JSON. Two same-seed runs must agree byte for byte.
 pub fn body_json(v: &Value) -> String {
@@ -501,6 +610,8 @@ mod tests {
                 cycles: 400_000 + 10_000 * i as u64,
                 instret: 100_000,
                 cpi_milli: (400_000 + 10_000 * i as u64) * 1000 / 100_000,
+                sampled_cpi_milli: 4_000 + 100 * i as u64,
+                sampled_cpi_err_milli: 12 + i as u64,
                 kilocycles_per_sec: 250.0 / (i + 1) as f64,
                 per_workload: vec![
                     ("mcf".into(), 900.0 * (i + 1) as f64),
@@ -584,6 +695,27 @@ mod tests {
             }
         }
         assert!(validate(&r).is_err(), "inconsistent cpi_milli accepted");
+
+        // A sampled CPI error past the accuracy gate.
+        let mut r = sample();
+        if let Some(Value::Object(cm)) = r.as_object_mut_key("cycle_model") {
+            if let Some(Value::Object(e)) = cm.get_mut("small-nh") {
+                e.insert(
+                    "sampled_cpi_err_milli".into(),
+                    Value::U64(SAMPLED_ERR_BOUND_MILLI + 1),
+                );
+            }
+        }
+        assert!(validate(&r).is_err(), "out-of-gate sampled error accepted");
+
+        // A sampled estimate that never ran.
+        let mut r = sample();
+        if let Some(Value::Object(cm)) = r.as_object_mut_key("cycle_model") {
+            if let Some(Value::Object(e)) = cm.get_mut("small-nh") {
+                e.insert("sampled_cpi_milli".into(), Value::U64(0));
+            }
+        }
+        assert!(validate(&r).is_err(), "zero sampled_cpi_milli accepted");
     }
 
     /// Test-only helper: mutable access to a top-level object field.

@@ -464,6 +464,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> FuzzOutcome {
             rounds,
             total_features: coverage.len() as u64,
         }),
+        sampling: Vec::new(),
         wall_clock: wall,
     };
     FuzzOutcome {

@@ -46,6 +46,27 @@ pub enum WorkloadSource {
         /// The program image.
         program: Program,
     },
+    /// One SimPoint checkpoint of a profiled kernel, simulated as a
+    /// warm-up + measured detail window (§III-D3). The checkpoint
+    /// itself rides along behind an `Arc` — its sparse memory image is
+    /// copy-on-write, so clones across the worker pool stay cheap — and
+    /// the recipe fields `(kernel, ref_model, interval_len, interval)`
+    /// re-derive it exactly (see `checkpoint::checkpoint_at_interval`),
+    /// which is what triage bundles store.
+    Sample {
+        /// Profiled kernel name, e.g. `"sjeng"`.
+        kernel: String,
+        /// Profiling personality the checkpoint came from.
+        ref_model: String,
+        /// Profiling interval length, instructions.
+        interval_len: u64,
+        /// Warm-up instruction budget before measurement.
+        warmup: u64,
+        /// Measured-window instruction budget.
+        window: u64,
+        /// The checkpoint to resume from.
+        checkpoint: std::sync::Arc<checkpoint::Checkpoint>,
+    },
 }
 
 impl WorkloadSource {
@@ -89,6 +110,9 @@ impl WorkloadSource {
                 format!("litmus:{}:seed={seed}", cfg.shape.slug())
             }
             WorkloadSource::Inline { name, .. } => format!("inline:{name}"),
+            WorkloadSource::Sample {
+                kernel, checkpoint, ..
+            } => format!("sample:{kernel}:interval={}", checkpoint.interval),
         }
     }
 
@@ -111,6 +135,13 @@ impl WorkloadSource {
                 }
             }
             WorkloadSource::Inline { program, .. } => program.clone(),
+            // Sample jobs don't run a program from reset — the runner
+            // resumes from the checkpoint state instead — but the
+            // underlying kernel is still the meaningful answer here
+            // (triage re-derives checkpoints by profiling it).
+            WorkloadSource::Sample { kernel, .. } => {
+                workloads::workload(kernel, Scale::Test).program
+            }
         }
     }
 }

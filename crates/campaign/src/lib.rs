@@ -27,6 +27,12 @@
 //!   mutation, scheduled by observed coverage novelty (decode,
 //!   diff-rule, and pipeline-event coverage maps), and every divergence
 //!   it finds flows through the same minimize/triage pipeline.
+//! - [`run_sampled`] is the checkpoint farm (§III-D3): workloads are
+//!   profiled on a fast architectural personality, SimPoint clustering
+//!   picks representative intervals, and one *sample job* per
+//!   checkpoint × configuration flows through the same worker pool —
+//!   warm-up, then a DiffTest-verified detail window — aggregating to
+//!   a weighted-CPI estimate in the report's `sampling` section.
 //! - With `FuzzOpts::mp` on, the exploration stream interleaves
 //!   two-hart litmus recipes; a run whose final observation set falls
 //!   outside the shape's allowed-outcome mask becomes a
@@ -57,6 +63,7 @@ pub mod job;
 pub mod minimize;
 pub mod report;
 pub mod runner;
+pub mod sample;
 pub mod triage;
 
 pub use coverage::{minimize_corpus, CoverageSet, FuzzRound, FuzzSummary};
@@ -66,10 +73,11 @@ pub use fuzz::{
 pub use job::{error_class, JobSpec, WorkloadSource};
 pub use minimize::{minimize, MinimizeOutcome};
 pub use report::{
-    CampaignReport, CampaignSummary, JobRecord, MinimizedRepro, ReplayWindow, Verdict, WallClock,
-    SCHEMA_VERSION,
+    CampaignReport, CampaignSummary, JobRecord, MinimizedRepro, ReplayWindow, SampleRecord,
+    SamplingPhase, SamplingSummary, Verdict, WallClock, SCHEMA_VERSION,
 };
 pub use runner::Campaign;
+pub use sample::{run_sampled, SampleSpec};
 pub use triage::{
     bundle_spec, verify_bundle, BundleSource, BundleVerification, TriageBundle,
     BUNDLE_SCHEMA_VERSION,

@@ -29,7 +29,12 @@ use workloads::TortureConfig;
 /// summary tally, minimized reproducers carry an optional litmus recipe
 /// alongside the torture one, and coverage maps grow the `mp:` family
 /// (bundle schema v4).
-pub const SCHEMA_VERSION: u64 = 5;
+/// v6: SimPoint sampling — the `Sampled` verdict with its summary
+/// tally, per-job `sample` records (warm-up/window phase counters and
+/// the window CPI stack, all integer milli-units), and the top-level
+/// `sampling` section aggregating weighted CPI per workload ×
+/// configuration (bundle schema v5: sample recipes).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// How one job ended.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,6 +63,14 @@ pub enum Verdict {
         /// The raw litmus exit code (hart 0's `a0`).
         exit_code: u64,
     },
+    /// A sample job measured its detailed window cleanly (checkpoint
+    /// restored, warm-up retired, window verified under DiffTest).
+    Sampled {
+        /// Window CPI in milli-units (`window_cycles × 1000 /
+        /// window_instret`) — integer, so the deterministic-body
+        /// property is preserved.
+        cpi_milli: u64,
+    },
     /// The cycle budget ran out.
     Timeout,
     /// The simulation panicked (caught at the job boundary).
@@ -84,6 +97,7 @@ impl Verdict {
             Verdict::Halted { .. } => "halted",
             Verdict::Diverged { .. } => "diverged",
             Verdict::ForbiddenOutcome { .. } => "forbidden-outcome",
+            Verdict::Sampled { .. } => "sampled",
             Verdict::Timeout => "timeout",
             Verdict::Panicked { .. } => "panicked",
             Verdict::WallTimeout { .. } => "wall-timeout",
@@ -138,6 +152,39 @@ pub struct MinimizedRepro {
     pub minimizer_runs: u64,
 }
 
+/// The per-phase measurements of one sample job (pure integers, so the
+/// deterministic-body property is preserved).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleRecord {
+    /// Interval index the checkpoint sits at.
+    pub interval: u64,
+    /// Intervals this checkpoint represents (the exact integer weight
+    /// numerator from clustering).
+    pub members: u64,
+    /// Total intervals profiled (the weight denominator).
+    pub total_intervals: u64,
+    /// Instructions the profiler had retired at the checkpoint.
+    pub checkpoint_instret: u64,
+    /// Warm-up phase: cycles spent.
+    pub warmup_cycles: u64,
+    /// Warm-up phase: instructions retired.
+    pub warmup_instret: u64,
+    /// Measured window: cycles spent.
+    pub window_cycles: u64,
+    /// Measured window: instructions retired.
+    pub window_instret: u64,
+    /// Window CPI, milli-units (0 when the window retired nothing).
+    pub cpi_milli: u64,
+    /// Window CPI stack (issue-slot attribution deltas over the window;
+    /// components sum to `window_cycles × commit_width`).
+    pub cpi_stack: xscore::CpiStack,
+    /// True when the full window budget was measured; false when the
+    /// program halted inside the warm-up or window.
+    pub completed_window: bool,
+    /// Exit code, when the program halted during the job.
+    pub halted: Option<u64>,
+}
+
 /// One job's deterministic record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobRecord {
@@ -175,6 +222,8 @@ pub struct JobRecord {
     /// Coverage map (jobs run with `JobSpec::with_coverage` only);
     /// pure-integer, so the deterministic-body property is preserved.
     pub coverage: Option<CoverageMap>,
+    /// Per-phase sampling measurements (sample jobs only).
+    pub sample: Option<SampleRecord>,
 }
 
 /// Verdict tallies over a whole campaign.
@@ -188,6 +237,8 @@ pub struct CampaignSummary {
     pub diverged: u64,
     /// Litmus jobs that committed a forbidden outcome.
     pub forbidden: u64,
+    /// Sample jobs that measured their window cleanly.
+    pub sampled: u64,
     /// Jobs that exhausted their cycle budget.
     pub timeout: u64,
     /// Jobs that panicked.
@@ -206,12 +257,55 @@ impl CampaignSummary {
                 Verdict::Halted { .. } => s.halted += 1,
                 Verdict::Diverged { .. } => s.diverged += 1,
                 Verdict::ForbiddenOutcome { .. } => s.forbidden += 1,
+                Verdict::Sampled { .. } => s.sampled += 1,
                 Verdict::Timeout | Verdict::WallTimeout { .. } => s.timeout += 1,
                 Verdict::Panicked { .. } => s.panicked += 1,
             }
         }
         s
     }
+}
+
+/// One phase's contribution to a [`SamplingSummary`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SamplingPhase {
+    /// The sample job's index in the campaign's job list.
+    pub job_index: u64,
+    /// Interval index of the checkpoint.
+    pub interval: u64,
+    /// Intervals this phase represents (integer weight numerator).
+    pub members: u64,
+    /// Measured window CPI, milli-units.
+    pub cpi_milli: u64,
+}
+
+/// Weighted-CPI aggregation over one workload × configuration — the
+/// `sampling` section of the report body. All integer milli-units; the
+/// weighted mean is computed with exact integer arithmetic
+/// (`checkpoint::weighted_cpi_milli`), so the section is
+/// permutation-invariant and byte-identical across same-seed runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SamplingSummary {
+    /// Workload label, e.g. `"kernel:sjeng"`.
+    pub workload: String,
+    /// Configuration preset slug.
+    pub config: String,
+    /// Profiling personality that produced the checkpoints.
+    pub ref_model: String,
+    /// Profiling interval length, instructions.
+    pub interval_len: u64,
+    /// Total intervals profiled.
+    pub total_intervals: u64,
+    /// Total dynamic instructions profiled.
+    pub total_instructions: u64,
+    /// Checkpoints simulated.
+    pub checkpoints: u64,
+    /// Checkpoints whose windows contributed to the weighted mean.
+    pub aggregated: u64,
+    /// SimPoint-weighted CPI estimate, milli-units.
+    pub weighted_cpi_milli: u64,
+    /// Per-checkpoint phases, interval order.
+    pub phases: Vec<SamplingPhase>,
 }
 
 /// Wall-clock measurements — segregated from the deterministic body.
@@ -239,6 +333,9 @@ pub struct CampaignReport {
     /// Coverage-guided fuzzing summary (fuzz campaigns only) — part of
     /// the deterministic body.
     pub fuzz: Option<FuzzSummary>,
+    /// Weighted-CPI aggregations (sampling campaigns only) — part of
+    /// the deterministic body; the key is omitted when empty.
+    pub sampling: Vec<SamplingSummary>,
     /// Wall-clock measurements (excluded from the deterministic body).
     pub wall_clock: WallClock,
 }
@@ -253,6 +350,9 @@ impl CampaignReport {
         m.insert("jobs".into(), to_value(&self.jobs));
         if let Some(fuzz) = &self.fuzz {
             m.insert("fuzz".into(), to_value(fuzz));
+        }
+        if !self.sampling.is_empty() {
+            m.insert("sampling".into(), to_value(&self.sampling));
         }
         Value::Object(m)
     }
@@ -294,6 +394,7 @@ mod tests {
             triage: None,
             perf: PerfSnapshot::default(),
             coverage: None,
+            sample: None,
         }
     }
 
@@ -304,6 +405,7 @@ mod tests {
             summary: CampaignSummary::tally(&[record(0, Verdict::Timeout)]),
             jobs: vec![record(0, Verdict::Timeout)],
             fuzz: None,
+            sampling: Vec::new(),
             wall_clock: WallClock {
                 total_ms: 123,
                 per_job_ms: vec![123],
@@ -329,10 +431,57 @@ mod tests {
                 Verdict::Halted { exit_code: 42 },
             )],
             fuzz: None,
+            sampling: Vec::new(),
             wall_clock: WallClock::default(),
         };
         let v: Value = serde_json::from_str(&r.full_json()).expect("valid JSON");
         assert_eq!(v["schema_version"], SCHEMA_VERSION);
         assert_eq!(v["jobs"][0]["workload"], "kernel:mcf");
+    }
+
+    #[test]
+    fn sampling_section_appears_only_when_present() {
+        let mut r = CampaignReport {
+            workers: 1,
+            summary: CampaignSummary::tally(&[]),
+            jobs: Vec::new(),
+            fuzz: None,
+            sampling: Vec::new(),
+            wall_clock: WallClock::default(),
+        };
+        assert!(!r.deterministic_json().contains("\"sampling\""));
+        r.sampling.push(SamplingSummary {
+            workload: "kernel:sjeng".into(),
+            config: "small-nh".into(),
+            ref_model: "nemu-trace".into(),
+            interval_len: 5000,
+            total_intervals: 8,
+            total_instructions: 39_000,
+            checkpoints: 2,
+            aggregated: 2,
+            weighted_cpi_milli: 1042,
+            phases: vec![SamplingPhase {
+                job_index: 0,
+                interval: 3,
+                members: 5,
+                cpi_milli: 1042,
+            }],
+        });
+        let det = r.deterministic_json();
+        assert!(det.contains("\"sampling\""));
+        assert!(det.contains("\"weighted_cpi_milli\": 1042"));
+    }
+
+    #[test]
+    fn sampled_verdicts_tally_separately() {
+        let jobs = vec![
+            record(0, Verdict::Sampled { cpi_milli: 1100 }),
+            record(1, Verdict::Sampled { cpi_milli: 900 }),
+            record(2, Verdict::Halted { exit_code: 0 }),
+        ];
+        let s = CampaignSummary::tally(&jobs);
+        assert_eq!(s.sampled, 2);
+        assert_eq!(s.halted, 1);
+        assert_eq!(jobs[0].verdict.label(), "sampled");
     }
 }

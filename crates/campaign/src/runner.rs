@@ -19,10 +19,11 @@
 use crate::job::{error_class, JobSpec, WorkloadSource};
 use crate::minimize::minimize;
 use crate::report::{
-    CampaignReport, CampaignSummary, JobRecord, MinimizedRepro, ReplayWindow, Verdict, WallClock,
+    CampaignReport, CampaignSummary, JobRecord, MinimizedRepro, ReplayWindow, SampleRecord,
+    Verdict, WallClock,
 };
 use crate::triage::{triage_divergence, triage_forbidden, triage_panic, triage_timeout};
-use minjie::{run_isolated, run_isolated_salvaging, CoSimEnd};
+use minjie::{run_isolated, run_isolated_checkpoint, run_isolated_salvaging, CoSimEnd, SampleEnd};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -167,6 +168,7 @@ impl Campaign {
                 summary: CampaignSummary::tally(&jobs),
                 jobs,
                 fuzz: None,
+                sampling: Vec::new(),
                 wall_clock: WallClock {
                     total_ms: campaign_start.elapsed().as_millis() as u64,
                     per_job_ms,
@@ -195,6 +197,7 @@ fn base_record(index: usize, spec: &JobSpec) -> JobRecord {
         triage: None,
         perf: minjie::PerfSnapshot::default(),
         coverage: None,
+        sample: None,
     }
 }
 
@@ -254,6 +257,15 @@ fn execute_job(index: usize, spec: &JobSpec, policy: JobPolicy) -> JobRecord {
         };
         return record;
     };
+    if let WorkloadSource::Sample {
+        checkpoint,
+        warmup,
+        window,
+        ..
+    } = &spec.workload
+    {
+        return execute_sample_job(record, spec, cfg, checkpoint, *warmup, *window, policy);
+    }
     let program = spec.workload.build();
     let (result, salvage) =
         run_isolated_salvaging(cfg, &program, spec.max_cycles, spec.lightsss_interval);
@@ -338,6 +350,128 @@ fn execute_job(index: usize, spec: &JobSpec, policy: JobPolicy) -> JobRecord {
                             &bug,
                             salvage,
                             record.minimized.clone(),
+                            stats.lifecycle_ring,
+                        ));
+                    }
+                    Verdict::Diverged { error: bug.error }
+                }
+            };
+        }
+    }
+    record
+}
+
+/// Run one sample job: restore the checkpoint, retire the warm-up, then
+/// measure the detailed window under DiffTest. Verification machinery
+/// (panic isolation, LightSSS salvage, triage bundles, lifecycle rings)
+/// applies exactly as for reset-state jobs.
+#[allow(clippy::too_many_arguments)]
+fn execute_sample_job(
+    mut record: JobRecord,
+    spec: &JobSpec,
+    cfg: xscore::XsConfig,
+    checkpoint: &checkpoint::Checkpoint,
+    warmup: u64,
+    window: u64,
+    policy: JobPolicy,
+) -> JobRecord {
+    let index = record.index;
+    let (result, salvage) = run_isolated_checkpoint(
+        cfg,
+        &checkpoint.state,
+        &checkpoint.memory,
+        warmup,
+        window,
+        spec.max_cycles,
+        spec.lightsss_interval,
+    );
+    match result {
+        Err(message) => {
+            if policy.triage {
+                record.triage = Some(triage_panic(index, spec, &message));
+            }
+            record.verdict = Verdict::Panicked { message };
+        }
+        Ok(stats) => {
+            record.cycles = stats.cycles;
+            record.commits_checked = stats.commits_checked;
+            record.instret = stats.instret;
+            record.exceptions = stats.exceptions;
+            record.ipc = if stats.cycles > 0 {
+                (stats.instret as f64 / stats.cycles as f64 * 1000.0).round() / 1000.0
+            } else {
+                0.0
+            };
+            record.rule_counts = stats.rule_counts;
+            record.perf = stats.perf;
+            record.coverage = stats.coverage;
+            let w = &stats.window;
+            let cpi_milli = if w.window_instret > 0 {
+                w.window_cycles.saturating_mul(1000) / w.window_instret
+            } else {
+                0
+            };
+            record.sample = Some(SampleRecord {
+                interval: checkpoint.interval as u64,
+                members: checkpoint.members,
+                total_intervals: checkpoint.total_intervals,
+                checkpoint_instret: checkpoint.instret,
+                warmup_cycles: w.warmup_cycles,
+                warmup_instret: w.warmup_instret,
+                window_cycles: w.window_cycles,
+                window_instret: w.window_instret,
+                cpi_milli,
+                cpi_stack: w.cpi.clone(),
+                completed_window: matches!(stats.end, SampleEnd::Window),
+                halted: match stats.end {
+                    SampleEnd::Halted(code) => Some(code),
+                    _ => None,
+                },
+            });
+            record.verdict = match stats.end {
+                SampleEnd::Window => Verdict::Sampled { cpi_milli },
+                // A halt inside the window still measured something; a
+                // halt inside the warm-up measured nothing and reports
+                // as an ordinary clean halt.
+                SampleEnd::Halted(exit_code) => {
+                    if w.window_instret > 0 {
+                        Verdict::Sampled { cpi_milli }
+                    } else {
+                        Verdict::Halted { exit_code }
+                    }
+                }
+                SampleEnd::OutOfCycles => {
+                    if policy.triage {
+                        if let Some(s) = salvage {
+                            record.triage = Some(triage_timeout(
+                                index,
+                                spec,
+                                s,
+                                stats.cycles,
+                                stats.commits_checked,
+                                stats.lifecycle_ring,
+                            ));
+                        }
+                    }
+                    Verdict::Timeout
+                }
+                SampleEnd::Bug(bug) => {
+                    record.replay = bug.replay.as_ref().map(|r| ReplayWindow {
+                        from_cycle: r.from_cycle,
+                        fallback_reset: r.fallback_reset,
+                        at_cycle: bug.at_cycle,
+                        at_commit: r.at_commit,
+                        cycles_replayed: r.cycles_replayed,
+                        reproduced: r.reproduced,
+                        trace_records: r.trace.records_inserted(),
+                    });
+                    if policy.triage {
+                        record.triage = Some(triage_divergence(
+                            index,
+                            spec,
+                            &bug,
+                            salvage,
+                            None,
                             stats.lifecycle_ring,
                         ));
                     }

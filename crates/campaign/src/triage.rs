@@ -26,7 +26,10 @@ use xscore::{CpiStack, InjectedBug};
 /// Bundle schema version (independent of the report schema).
 /// v4: litmus sources, the `"forbidden-outcome"` trigger with its raw
 /// exit code, and the L2 probe/grant race fault flag.
-pub const BUNDLE_SCHEMA_VERSION: u64 = 4;
+/// v5: sample sources — the `(kernel, personality, interval_len,
+/// interval, warmup, window)` recipe re-derives the checkpoint a sample
+/// job resumed from, keeping bundles free of memory images.
+pub const BUNDLE_SCHEMA_VERSION: u64 = 5;
 
 /// Commit-trace rows retained in the bundle (the tail closest to the
 /// failure point).
@@ -74,6 +77,24 @@ pub enum BundleSource {
         /// Image bytes.
         bytes: Vec<u8>,
     },
+    /// A SimPoint sample job, stored as the checkpoint *recipe*:
+    /// re-profiling `kernel` on `ref_model` for `interval ×
+    /// interval_len` instructions rebuilds the exact restore state
+    /// (see `checkpoint::checkpoint_at_interval`).
+    Sample {
+        /// Profiled kernel name.
+        kernel: String,
+        /// Profiling personality.
+        ref_model: String,
+        /// Interval length, instructions.
+        interval_len: u64,
+        /// Interval index of the checkpoint.
+        interval: u64,
+        /// Warm-up instruction budget.
+        warmup: u64,
+        /// Measured-window instruction budget.
+        window: u64,
+    },
 }
 
 impl BundleSource {
@@ -96,6 +117,21 @@ impl BundleSource {
                 base: program.base,
                 entry: program.entry,
                 bytes: program.bytes.clone(),
+            },
+            WorkloadSource::Sample {
+                kernel,
+                ref_model,
+                interval_len,
+                warmup,
+                window,
+                checkpoint,
+            } => BundleSource::Sample {
+                kernel: kernel.clone(),
+                ref_model: ref_model.clone(),
+                interval_len: *interval_len,
+                interval: checkpoint.interval as u64,
+                warmup: *warmup,
+                window: *window,
             },
         }
     }
@@ -127,6 +163,34 @@ impl BundleSource {
                     bytes: bytes.clone(),
                 },
             },
+            // Re-derive the checkpoint from its recipe: profile the
+            // kernel on the recorded personality up to the boundary.
+            // Deterministic, so the rebuilt state matches the original
+            // byte for byte.
+            BundleSource::Sample {
+                kernel,
+                ref_model,
+                interval_len,
+                interval,
+                warmup,
+                window,
+            } => {
+                let program = workloads::workload(kernel, workloads::Scale::Test).program;
+                let c = checkpoint::checkpoint_at_interval(
+                    ref_model,
+                    &program,
+                    *interval_len,
+                    *interval,
+                );
+                WorkloadSource::Sample {
+                    kernel: kernel.clone(),
+                    ref_model: ref_model.clone(),
+                    interval_len: *interval_len,
+                    warmup: *warmup,
+                    window: *window,
+                    checkpoint: std::sync::Arc::new(c),
+                }
+            }
         }
     }
 }
@@ -584,6 +648,69 @@ pub fn verify_bundle(b: &TriageBundle) -> Result<BundleVerification, String> {
     let Some(cfg) = spec.build_config() else {
         return Err(format!("unknown configuration preset `{}`", b.config));
     };
+    // Sample jobs don't run from reset: re-derive the checkpoint from
+    // its recipe and resume the warm-up + window exactly as the runner
+    // did.
+    if let WorkloadSource::Sample {
+        checkpoint,
+        warmup,
+        window,
+        ..
+    } = &spec.workload
+    {
+        let (result, _) = minjie::run_isolated_checkpoint(
+            cfg,
+            &checkpoint.state,
+            &checkpoint.memory,
+            *warmup,
+            *window,
+            b.max_cycles,
+            b.lightsss_interval,
+        );
+        let v = match result {
+            Err(message) => BundleVerification {
+                reproduced: b.trigger == "panicked" && Some(&message) == b.panic.as_ref(),
+                at_commit: 0,
+                detail: format!("panicked: {message}"),
+            },
+            Ok(stats) => match stats.end {
+                minjie::SampleEnd::Window | minjie::SampleEnd::Halted(_) => BundleVerification {
+                    reproduced: false,
+                    at_commit: stats.commits_checked,
+                    detail: format!(
+                        "sampled cleanly: {} window cycles, {} window instructions",
+                        stats.window.window_cycles, stats.window.window_instret
+                    ),
+                },
+                minjie::SampleEnd::OutOfCycles => BundleVerification {
+                    reproduced: b.trigger == "timeout"
+                        && stats.cycles == b.at_cycle
+                        && stats.commits_checked == b.at_commit,
+                    at_commit: stats.commits_checked,
+                    detail: format!(
+                        "cycle budget exhausted at cycle {} after {} commits",
+                        stats.cycles, stats.commits_checked
+                    ),
+                },
+                minjie::SampleEnd::Bug(bug) => {
+                    let same_error = Some(&bug.error) == b.error.as_ref();
+                    let same_commit = bug.at_commit == b.at_commit;
+                    BundleVerification {
+                        reproduced: b.trigger == "diverged" && same_error && same_commit,
+                        at_commit: bug.at_commit,
+                        detail: format!(
+                            "diverged ({}) at commit {} (bundle: commit {}, error match: {})",
+                            error_class(&bug.error),
+                            bug.at_commit,
+                            b.at_commit,
+                            same_error
+                        ),
+                    }
+                }
+            },
+        };
+        return Ok(v);
+    }
     let program = spec.workload.build();
     let result = minjie::run_isolated(cfg, &program, b.max_cycles, b.lightsss_interval);
     let v = match result {

@@ -28,6 +28,13 @@ pub struct Checkpoint {
     pub instret: u64,
     /// SimPoint weight (fraction of intervals this checkpoint stands for).
     pub weight: f64,
+    /// Intervals in this checkpoint's cluster — the exact integer
+    /// numerator of `weight` (denominator: `total_intervals`). Report
+    /// aggregation uses the rational form so deterministic bodies stay
+    /// float-free.
+    pub members: u64,
+    /// Total profiled intervals of the run this checkpoint came from.
+    pub total_intervals: u64,
     /// Index of the interval this checkpoint represents.
     pub interval: usize,
 }
@@ -49,6 +56,8 @@ struct Header {
     state: ArchState,
     instret: u64,
     weight: f64,
+    members: u64,
+    total_intervals: u64,
     interval: usize,
 }
 
@@ -59,6 +68,8 @@ impl Checkpoint {
             state: self.state.clone(),
             instret: self.instret,
             weight: self.weight,
+            members: self.members,
+            total_intervals: self.total_intervals,
             interval: self.interval,
         })
         .expect("header serializes");
@@ -74,18 +85,59 @@ impl Checkpoint {
     ///
     /// # Panics
     ///
-    /// Panics on a malformed blob.
+    /// Panics on a malformed blob; [`Checkpoint::try_from_bytes`] is the
+    /// non-panicking form (on-disk blobs can be truncated or stale).
     pub fn from_bytes(data: &[u8]) -> Self {
-        let hlen = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
-        let header: Header = serde_json::from_slice(&data[8..8 + hlen]).expect("valid header");
-        let memory = SparseMemory::deserialize_full(&data[8 + hlen..]);
-        Checkpoint {
+        Self::try_from_bytes(data).expect("valid checkpoint blob")
+    }
+
+    /// Deserialize from [`Checkpoint::to_bytes`] output, rejecting
+    /// malformed blobs instead of panicking — the checkpoint farm reads
+    /// blobs back from a reuse directory, where truncated writes and
+    /// format drift are ordinary conditions, not bugs.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural problem found.
+    pub fn try_from_bytes(data: &[u8]) -> Result<Self, String> {
+        if data.len() < 8 {
+            return Err(format!("blob too short for length prefix: {} bytes", data.len()));
+        }
+        let hlen = u64::from_le_bytes(data[..8].try_into().expect("8 bytes")) as usize;
+        let body = &data[8..];
+        if hlen > body.len() {
+            return Err(format!(
+                "header length {hlen} exceeds remaining {} bytes",
+                body.len()
+            ));
+        }
+        let header: Header = serde_json::from_slice(&body[..hlen])
+            .map_err(|e| format!("header does not parse: {e}"))?;
+        let memory = SparseMemory::deserialize_full(&body[hlen..]);
+        Ok(Checkpoint {
             state: header.state,
             memory,
             instret: header.instret,
             weight: header.weight,
+            members: header.members,
+            total_intervals: header.total_intervals,
             interval: header.interval,
+        })
+    }
+
+    /// Content hash of the serialized blob (FNV-1a 64, hex) — the
+    /// on-disk file name under a checkpoint directory, so re-profiling
+    /// the same workload reuses identical blobs instead of rewriting
+    /// them.
+    pub fn content_hash(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in self.to_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
         }
+        format!("{h:016x}")
     }
 
     /// Emit the Fig. 9-style restore loader: a bare-metal program (loaded
@@ -166,6 +218,8 @@ mod tests {
             memory,
             instret: 1_000_000,
             weight: 0.25,
+            members: 2,
+            total_intervals: 8,
             interval: 7,
         }
     }
@@ -178,8 +232,38 @@ mod tests {
         assert_eq!(back.state, c.state);
         assert_eq!(back.instret, 1_000_000);
         assert_eq!(back.weight, 0.25);
+        assert_eq!(back.members, 2);
+        assert_eq!(back.total_intervals, 8);
         assert_eq!(back.interval, 7);
         assert_eq!(back.memory.read_uint(0x8002_0000, 8), 42);
+    }
+
+    #[test]
+    fn malformed_blobs_are_rejected_not_panics() {
+        let c = sample_checkpoint();
+        let blob = c.to_bytes();
+        // Too short for the length prefix.
+        assert!(Checkpoint::try_from_bytes(&blob[..4]).is_err());
+        // Header length pointing past the end.
+        let mut lying = blob.clone();
+        lying[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Checkpoint::try_from_bytes(&lying).is_err());
+        // Corrupted header JSON.
+        let mut garbled = blob.clone();
+        garbled[8] = b'!';
+        assert!(Checkpoint::try_from_bytes(&garbled).is_err());
+        // The untouched blob still round-trips.
+        assert!(Checkpoint::try_from_bytes(&blob).is_ok());
+    }
+
+    #[test]
+    fn content_hash_tracks_content() {
+        let c = sample_checkpoint();
+        assert_eq!(c.content_hash(), c.content_hash(), "hash is deterministic");
+        assert_eq!(c.content_hash().len(), 16);
+        let mut other = sample_checkpoint();
+        other.state.gpr[5] ^= 1;
+        assert_ne!(c.content_hash(), other.content_hash());
     }
 
     #[test]

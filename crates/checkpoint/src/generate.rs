@@ -9,9 +9,13 @@
 
 use crate::format::Checkpoint;
 use crate::simpoint::{simpoints, BbvCollector, SimPoint};
-use nemu::hart::{self, Hart};
 use riscv_isa::asm::Program;
 use riscv_isa::mem::SparseMemory;
+use riscv_isa::state::ArchState;
+
+/// Seed of the k-means++ clustering pass — pinned so interval selection
+/// is deterministic across runs, platforms, and profiling personalities.
+pub const CLUSTER_SEED: u64 = 0xdead_beef;
 
 /// Result of profiling + checkpointing one program.
 #[derive(Debug)]
@@ -24,9 +28,13 @@ pub struct CheckpointSet {
     pub total_instructions: u64,
     /// Interval length used.
     pub interval_len: u64,
+    /// Total intervals profiled (the weight denominator: a final partial
+    /// interval counts).
+    pub total_intervals: u64,
 }
 
-/// Generate SimPoint checkpoints for `program`.
+/// Generate SimPoint checkpoints for `program` using the default NEMU
+/// uop-cache tier as the profiling engine.
 ///
 /// `interval_len` is the interval size in instructions (the paper uses
 /// tens of millions for SPEC; tests use thousands), `k` the maximum
@@ -41,38 +49,58 @@ pub fn generate_checkpoints(
     k: usize,
     max_insts: u64,
 ) -> CheckpointSet {
-    let mut mem = SparseMemory::new();
-    program.load_into(&mut mem);
-    let mut h = Hart::new(program.entry, 0);
+    generate_checkpoints_with_ref("nemu", program, interval_len, k, max_insts)
+}
+
+/// [`generate_checkpoints`] with an explicit profiling personality from
+/// [`nemu::registry`] (the campaign's `--ref` flag ends up here: the
+/// superblock `nemu-trace` tier is the fast choice for long workloads).
+/// All personalities execute the identical architectural stream — the
+/// conformance tier pins that — so the BBVs, the clustering, and the
+/// selected checkpoints do not depend on this choice.
+///
+/// # Panics
+///
+/// Panics on an unknown personality name or a program that does not
+/// halt within `max_insts`.
+pub fn generate_checkpoints_with_ref(
+    ref_name: &str,
+    program: &Program,
+    interval_len: u64,
+    k: usize,
+    max_insts: u64,
+) -> CheckpointSet {
+    let mut interp = nemu::registry::boot(ref_name, program)
+        .unwrap_or_else(|| panic!("unknown profiling personality `{ref_name}`"));
 
     let mut bbv = BbvCollector::new();
     let mut vectors: Vec<Vec<f64>> = Vec::new();
     // Boundary snapshots: (state, memory, instret) per interval start.
-    let mut boundaries: Vec<(riscv_isa::state::ArchState, SparseMemory, u64)> =
-        vec![(h.state.clone(), mem.clone(), 0)];
+    let mut boundaries: Vec<(ArchState, SparseMemory, u64)> =
+        vec![(interp.hart().state.clone(), interp.mem_mut().clone(), 0)];
 
-    let mut block_pc = h.state.pc;
+    let mut block_pc = interp.hart().state.pc;
     let mut block_len = 0u64;
     let mut executed = 0u64;
-    while !h.is_halted() {
+    while !interp.hart().is_halted() {
         assert!(executed < max_insts, "program did not halt while profiling");
-        let info = hart::step(&mut h, &mut mem);
+        let info = interp.step_one();
         executed += 1;
         block_len += 1;
         let block_ended = info.inst.ends_block() || info.trap.is_some();
         if block_ended {
             bbv.record(block_pc, block_len);
-            block_pc = h.state.pc;
+            block_pc = interp.hart().state.pc;
             block_len = 0;
         }
         if executed % interval_len == 0 {
             if block_len > 0 {
                 bbv.record(block_pc, block_len);
                 block_len = 0;
-                block_pc = h.state.pc;
+                block_pc = interp.hart().state.pc;
             }
             vectors.push(bbv.finish());
-            boundaries.push((h.state.clone(), mem.clone(), executed));
+            boundaries.push((interp.hart().state.clone(), interp.mem_mut().clone(), executed));
         }
     }
     // Final partial interval.
@@ -84,7 +112,8 @@ pub fn generate_checkpoints(
     }
     assert!(!vectors.is_empty(), "program too short for one interval");
 
-    let points = simpoints(&vectors, k, 0xdeadbeef);
+    let total_intervals = vectors.len() as u64;
+    let points = simpoints(&vectors, k, CLUSTER_SEED);
     let checkpoints = points
         .iter()
         .map(|p| {
@@ -94,6 +123,8 @@ pub fn generate_checkpoints(
                 memory,
                 instret,
                 weight: p.weight,
+                members: p.members,
+                total_intervals,
                 interval: p.interval,
             }
         })
@@ -103,12 +134,53 @@ pub fn generate_checkpoints(
         points,
         total_instructions: executed,
         interval_len,
+        total_intervals,
+    }
+}
+
+/// Re-derive the single checkpoint at `interval` without clustering:
+/// execute `interval × interval_len` instructions and snapshot. This is
+/// the recipe a triage bundle stores — `(workload, personality,
+/// interval_len, interval)` rebuilds the exact state a sample job ran
+/// from, keeping bundles free of memory images.
+///
+/// # Panics
+///
+/// Panics on an unknown personality name or if the program halts before
+/// reaching the boundary.
+pub fn checkpoint_at_interval(
+    ref_name: &str,
+    program: &Program,
+    interval_len: u64,
+    interval: u64,
+) -> Checkpoint {
+    let mut interp = nemu::registry::boot(ref_name, program)
+        .unwrap_or_else(|| panic!("unknown profiling personality `{ref_name}`"));
+    let target = interval * interval_len;
+    let mut executed = 0u64;
+    while executed < target {
+        assert!(
+            !interp.hart().is_halted(),
+            "program halted at {executed} instructions, before interval {interval}"
+        );
+        interp.step_one();
+        executed += 1;
+    }
+    Checkpoint {
+        state: interp.hart().state.clone(),
+        memory: interp.mem_mut().clone(),
+        instret: executed,
+        weight: 0.0,
+        members: 0,
+        total_intervals: 0,
+        interval: interval as usize,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nemu::hart::{self, Hart};
     use riscv_isa::asm::{reg::*, Asm};
 
     /// A two-phase program: a multiply-heavy phase then a memory phase.
@@ -193,6 +265,36 @@ mod tests {
             "points {:?} boundary {boundary}",
             set.points
         );
+    }
+
+    #[test]
+    fn profiling_personality_does_not_change_the_selection() {
+        // All registry personalities execute the identical architectural
+        // stream, so the BBVs — and therefore the clustering and the
+        // selected boundary states — must be identical too.
+        let p = two_phase_program();
+        let base = generate_checkpoints_with_ref("nemu", &p, 2_000, 3, 10_000_000);
+        for name in ["nemu-trace", "spike-like"] {
+            let other = generate_checkpoints_with_ref(name, &p, 2_000, 3, 10_000_000);
+            assert_eq!(other.total_instructions, base.total_instructions, "{name}");
+            assert_eq!(other.total_intervals, base.total_intervals, "{name}");
+            assert_eq!(other.points, base.points, "{name}");
+            for (a, b) in other.checkpoints.iter().zip(&base.checkpoints) {
+                assert_eq!(a.state, b.state, "{name}");
+                assert_eq!(a.instret, b.instret, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_at_interval_matches_the_profiled_boundary() {
+        let p = two_phase_program();
+        let set = generate_checkpoints(&p, 2_000, 4, 10_000_000);
+        for c in &set.checkpoints {
+            let again = checkpoint_at_interval("nemu", &p, 2_000, c.interval as u64);
+            assert_eq!(again.state, c.state, "interval {}", c.interval);
+            assert_eq!(again.instret, c.instret);
+        }
     }
 
     #[test]

@@ -17,5 +17,10 @@ pub mod generate;
 pub mod simpoint;
 
 pub use format::{Checkpoint, LOADER_BASE};
-pub use generate::{generate_checkpoints, CheckpointSet};
-pub use simpoint::{simpoints, weighted_cpi, BbvCollector, SimPoint, PROJECTED_DIM};
+pub use generate::{
+    checkpoint_at_interval, generate_checkpoints, generate_checkpoints_with_ref, CheckpointSet,
+    CLUSTER_SEED,
+};
+pub use simpoint::{
+    simpoints, weighted_cpi, weighted_cpi_milli, BbvCollector, SimPoint, PROJECTED_DIM,
+};

@@ -88,6 +88,10 @@ fn dist2(a: &[f64], b: &[f64]) -> f64 {
 pub struct SimPoint {
     /// Index of the representative interval.
     pub interval: usize,
+    /// Intervals in this point's cluster (the exact integer numerator of
+    /// `weight` — report aggregation uses this so deterministic bodies
+    /// stay float-free).
+    pub members: u64,
     /// Fraction of all intervals in its cluster.
     pub weight: f64,
 }
@@ -194,6 +198,7 @@ pub fn simpoints(vectors: &[Vec<f64>], k: usize, seed: u64) -> Vec<SimPoint> {
             .expect("non-empty");
         points.push(SimPoint {
             interval: rep,
+            members: members.len() as u64,
             weight: members.len() as f64 / vectors.len() as f64,
         });
     }
@@ -213,6 +218,29 @@ pub fn weighted_cpi(cpis: &[f64], weights: &[f64]) -> f64 {
     assert!(!cpis.is_empty());
     let wsum: f64 = weights.iter().sum();
     cpis.iter().zip(weights).map(|(c, w)| c * w).sum::<f64>() / wsum
+}
+
+/// Pure-integer weighted-CPI estimation: combine per-simpoint CPI×1000
+/// values weighted by exact cluster populations
+/// ([`SimPoint::members`]). Campaign reports aggregate with this form so
+/// the deterministic body never carries a float — the result is
+/// permutation-invariant because integer addition is associative.
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, lengths differ, or every weight is
+/// zero.
+pub fn weighted_cpi_milli(cpi_milli: &[u64], members: &[u64]) -> u64 {
+    assert_eq!(cpi_milli.len(), members.len());
+    assert!(!cpi_milli.is_empty());
+    let wsum: u64 = members.iter().sum();
+    assert!(wsum > 0, "at least one cluster must have members");
+    let num: u64 = cpi_milli
+        .iter()
+        .zip(members)
+        .map(|(c, m)| c.saturating_mul(*m))
+        .sum();
+    num / wsum
 }
 
 #[cfg(test)]
@@ -329,6 +357,31 @@ mod tests {
     fn deterministic_given_seed() {
         let vecs = synthetic_phases();
         assert_eq!(simpoints(&vecs, 3, 7), simpoints(&vecs, 3, 7));
+    }
+
+    #[test]
+    fn weighted_cpi_milli_math() {
+        // 3 intervals at CPI 1.000, 1 at CPI 2.000 → 1.250.
+        assert_eq!(weighted_cpi_milli(&[1000, 2000], &[3, 1]), 1250);
+        // Permutation invariance is exact in integer math.
+        assert_eq!(
+            weighted_cpi_milli(&[2000, 1000], &[1, 3]),
+            weighted_cpi_milli(&[1000, 2000], &[3, 1])
+        );
+    }
+
+    #[test]
+    fn simpoint_members_are_the_weight_numerator() {
+        let vecs = synthetic_phases();
+        let pts = simpoints(&vecs, 3, 1);
+        let total: u64 = pts.iter().map(|p| p.members).sum();
+        assert_eq!(total, vecs.len() as u64, "clusters partition intervals");
+        for p in &pts {
+            assert!(
+                (p.weight - p.members as f64 / vecs.len() as f64).abs() < 1e-12,
+                "weight must be the members/total ratio: {p:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Property tests for the checkpoint format and the SimPoint pipeline
+//! (ISSUE satellite): the byte format round-trips arbitrary
+//! torture-derived architectural states, clustering is a pure function
+//! of its inputs with exactly partitioned weights, integer weighted-CPI
+//! aggregation is permutation-invariant, and the BBV collector tracks
+//! interval boundaries exactly.
+
+use checkpoint::{simpoints, weighted_cpi, weighted_cpi_milli, BbvCollector, Checkpoint};
+use nemu::hart::{self, Hart};
+use proptest::prelude::*;
+use workloads::{TortureConfig, TortureProgram};
+
+/// Build a checkpoint by stepping a NEMU hart `steps` instructions into
+/// a torture program — a state with populated GPRs/FPRs/CSRs and a live
+/// memory image, the same shape the generator produces.
+fn torture_checkpoint(seed: u64, steps: u64) -> Checkpoint {
+    let cfg = TortureConfig {
+        body_len: 40,
+        iterations: 4,
+        ..Default::default()
+    };
+    let program = TortureProgram::generate(seed, &cfg).emit();
+    let mut memory = riscv_isa::mem::SparseMemory::new();
+    program.load_into(&mut memory);
+    let mut hart = Hart::new(program.entry, 0);
+    let mut executed = 0;
+    for _ in 0..steps {
+        if hart.is_halted() {
+            break;
+        }
+        hart::step(&mut hart, &mut memory);
+        executed += 1;
+    }
+    Checkpoint {
+        state: hart.state.clone(),
+        memory,
+        instret: executed,
+        weight: 0.5,
+        members: 3,
+        total_intervals: 6,
+        interval: (seed % 11) as usize,
+    }
+}
+
+/// A small random BBV interval set built through the real collector.
+fn bbv_set(blocks: &[(u64, u64)], intervals: usize) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    let mut c = BbvCollector::new();
+    for i in 0..intervals {
+        for (j, &(pc, len)) in blocks.iter().enumerate() {
+            // Vary which blocks run per interval so phases exist.
+            if (i + j) % 3 != 0 {
+                c.record(0x8000_0000 + pc * 4, len.max(1));
+            }
+        }
+        out.push(c.finish());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `to_bytes`/`try_from_bytes` round-trip torture-derived states
+    /// bit-exactly, the canonical re-serialization is byte-identical
+    /// (so content hashes are stable across a disk round-trip), and
+    /// truncating the header region always errors instead of panicking.
+    #[test]
+    fn byte_format_roundtrips_torture_states(seed in 0u64..50_000, steps in 1u64..400) {
+        let c = torture_checkpoint(seed, steps);
+        let blob = c.to_bytes();
+        let back = Checkpoint::try_from_bytes(&blob).expect("round-trip parses");
+        prop_assert_eq!(&back.state, &c.state);
+        prop_assert_eq!(back.instret, c.instret);
+        prop_assert_eq!(back.members, c.members);
+        prop_assert_eq!(back.total_intervals, c.total_intervals);
+        prop_assert_eq!(back.interval, c.interval);
+        prop_assert_eq!(back.to_bytes(), blob, "re-serialization must be canonical");
+        prop_assert_eq!(back.content_hash(), c.content_hash());
+        // Header truncations are errors, never panics.
+        let hlen = u64::from_le_bytes(blob[..8].try_into().unwrap()) as usize;
+        let cut = (seed as usize) % (hlen + 8);
+        prop_assert!(Checkpoint::try_from_bytes(&blob[..cut]).is_err());
+    }
+
+    /// Clustering is a pure function of `(vectors, k, seed)`; cluster
+    /// populations partition the intervals exactly (Σ members == total,
+    /// Σ weight == 1) and every representative indexes a real interval.
+    #[test]
+    fn simpoints_are_deterministic_and_partition(
+        blocks in prop::collection::vec((0u64..64, 1u64..50), 2..8),
+        intervals in 2usize..20,
+        k in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let vecs = bbv_set(&blocks, intervals);
+        let pts = simpoints(&vecs, k, seed);
+        prop_assert_eq!(&pts, &simpoints(&vecs, k, seed), "same inputs, same points");
+        prop_assert!(!pts.is_empty() && pts.len() <= k.min(intervals));
+        let members: u64 = pts.iter().map(|p| p.members).sum();
+        prop_assert_eq!(members, intervals as u64, "clusters must partition intervals");
+        let wsum: f64 = pts.iter().map(|p| p.weight).sum();
+        prop_assert!((wsum - 1.0).abs() < 1e-9, "weights sum to 1, got {}", wsum);
+        for p in &pts {
+            prop_assert!(p.interval < intervals);
+            prop_assert!(p.members > 0);
+        }
+    }
+
+    /// Integer weighted-CPI aggregation is exactly permutation-invariant
+    /// (integer addition is associative), bounded by the input range,
+    /// and consistent with the float form to within rounding.
+    #[test]
+    fn weighted_cpi_milli_is_permutation_invariant(
+        pairs in prop::collection::vec((100u64..5_000, 1u64..50), 1..12),
+        rot in 0usize..12,
+    ) {
+        let cpis: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let members: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+        let base = weighted_cpi_milli(&cpis, &members);
+        // Any rotation and the full reversal agree exactly.
+        let r = rot % pairs.len();
+        let mut rc = cpis.clone();
+        rc.rotate_left(r);
+        let mut rm = members.clone();
+        rm.rotate_left(r);
+        prop_assert_eq!(base, weighted_cpi_milli(&rc, &rm));
+        let rev_c: Vec<u64> = cpis.iter().rev().copied().collect();
+        let rev_m: Vec<u64> = members.iter().rev().copied().collect();
+        prop_assert_eq!(base, weighted_cpi_milli(&rev_c, &rev_m));
+        // Bounded by the extremes of its inputs.
+        let lo = *cpis.iter().min().unwrap();
+        let hi = *cpis.iter().max().unwrap();
+        prop_assert!(base >= lo.saturating_sub(1) && base <= hi);
+        // Agrees with the float estimator to within integer rounding.
+        let fc: Vec<f64> = cpis.iter().map(|&c| c as f64 / 1000.0).collect();
+        let fw: Vec<f64> = members.iter().map(|&m| m as f64).collect();
+        let f = weighted_cpi(&fc, &fw) * 1000.0;
+        prop_assert!((base as f64 - f).abs() <= 1.0, "milli {} vs float {}", base, f);
+    }
+
+    /// The collector tracks interval boundaries exactly: the running
+    /// instruction count is the exact sum of recorded lengths, `finish`
+    /// resets it to zero, and a finished interval leaks nothing into the
+    /// next one (the next vector equals a fresh collector's).
+    #[test]
+    fn bbv_collector_interval_boundaries_are_exact(
+        first in prop::collection::vec((0u64..256, 1u64..100), 1..10),
+        second in prop::collection::vec((0u64..256, 1u64..100), 1..10),
+    ) {
+        let mut c = BbvCollector::new();
+        let mut total = 0;
+        for &(pc, len) in &first {
+            c.record(0x8000_0000 + pc * 2, len);
+            total += len;
+        }
+        prop_assert_eq!(c.instructions(), total, "exact instruction accounting");
+        let v1 = c.finish();
+        prop_assert_eq!(c.instructions(), 0, "finish resets the boundary");
+        prop_assert_eq!(v1.len(), checkpoint::PROJECTED_DIM);
+        // Second interval through the same collector vs. a fresh one.
+        for &(pc, len) in &second {
+            c.record(0x9000_0000 + pc * 2, len);
+        }
+        let v2 = c.finish();
+        let mut fresh = BbvCollector::new();
+        for &(pc, len) in &second {
+            fresh.record(0x9000_0000 + pc * 2, len);
+        }
+        prop_assert_eq!(v2, fresh.finish(), "no leakage across a boundary");
+    }
+}

@@ -7,9 +7,11 @@
 //! replay with debugging information enabled.
 
 use crate::archdb::ArchDb;
-use crate::difftest::{AnyRef, DiffError, DiffTest, ARCH_REF_NAME};
+use crate::difftest::{AnyRef, DiffError, DiffTest, GlobalMemory, NemuRef, ARCH_REF_NAME};
 use crate::lightsss::{LightSss, Snapshotable};
 use riscv_isa::asm::Program;
+use riscv_isa::mem::SparseMemory;
+use riscv_isa::state::ArchState;
 use xscore::{XsConfig, XsSystem};
 
 /// The snapshotable simulation state: the DUT and the verification state
@@ -144,6 +146,44 @@ impl CoSim {
             lightsss: None,
             // Full-trace mode streams a lifecycle record per finished uop;
             // bound the database so the stream keeps only the newest window.
+            archdb: if lifecycle {
+                ArchDb::bounded(LIFECYCLE_TRACE_CAP)
+            } else {
+                ArchDb::new()
+            },
+            debug_mode: false,
+            outs_buf: Vec::new(),
+        }
+    }
+
+    /// Boot co-simulation from an architectural checkpoint: the DUT is
+    /// rebuilt over the checkpointed memory image with core 0 restored
+    /// to the checkpointed state, and the DiffTest REF is the bare
+    /// architectural stepper resumed from the same state — so commits
+    /// are verified from the first restored instruction on, exactly as
+    /// in a from-reset run. Checkpoints are single-hart (§III-D3
+    /// profiles one hart), so the configuration is clamped to one core.
+    pub fn from_checkpoint(mut cfg: XsConfig, state: &ArchState, memory: &SparseMemory) -> Self {
+        cfg.cores = 1;
+        let coverage = cfg.coverage;
+        let lifecycle = cfg.lifecycle;
+        let mut sys = XsSystem::from_memory(cfg, memory.clone(), state.pc);
+        sys.restore(state);
+        let mut diff = DiffTest::new(
+            vec![AnyRef::Arch(NemuRef::from_state(
+                state.clone(),
+                memory.clone(),
+            ))],
+            GlobalMemory::from_memory(memory.clone()),
+        );
+        if coverage {
+            diff.coverage = Some(crate::coverage::CommitCoverage::default());
+        }
+        let state = CoSimState { sys, diff };
+        CoSim {
+            reset: Box::new(state.clone()),
+            state,
+            lightsss: None,
             archdb: if lifecycle {
                 ArchDb::bounded(LIFECYCLE_TRACE_CAP)
             } else {
@@ -460,6 +500,220 @@ pub fn run_isolated_salvaging(
     }
 }
 
+/// Why a checkpoint sample run ended.
+#[derive(Debug)]
+pub enum SampleEnd {
+    /// The full measured window retired — the normal outcome.
+    Window,
+    /// The program halted before the window filled (checkpoints near
+    /// the end of a run legitimately do this); exit code of hart 0.
+    /// Whatever part of the window did retire was still measured.
+    Halted(u64),
+    /// Cycle budget exhausted before the window filled.
+    OutOfCycles,
+    /// DiffTest reported a bug while warming up or measuring.
+    Bug(BugReport),
+}
+
+/// The measured detail window of one checkpoint sample (pure integers,
+/// so the numbers can live in a deterministic report body).
+#[derive(Debug, Clone)]
+pub struct SampleWindowStats {
+    /// Cycles the warm-up phase consumed.
+    pub warmup_cycles: u64,
+    /// Instructions the warm-up phase retired.
+    pub warmup_instret: u64,
+    /// Cycles of the measured window.
+    pub window_cycles: u64,
+    /// Instructions retired inside the measured window.
+    pub window_instret: u64,
+    /// CPI stack of the measured window alone (end minus warm-up end) —
+    /// its components sum to `window_cycles × commit_width`, same
+    /// identity as a whole-run stack.
+    pub cpi: xscore::CpiStack,
+}
+
+/// Outcome and statistics of one isolated checkpoint sample run:
+/// whole-run counters (from the restored state on) plus the measured
+/// window carved out after warm-up.
+#[derive(Debug)]
+pub struct SampleStats {
+    /// Why the sample ended.
+    pub end: SampleEnd,
+    /// Cycles simulated in total (warm-up + window).
+    pub cycles: u64,
+    /// Commits DiffTest verified.
+    pub commits_checked: u64,
+    /// Instructions retired since the restore.
+    pub instret: u64,
+    /// Architectural exceptions taken.
+    pub exceptions: u64,
+    /// Diff-rule applications (rule name → count), sorted by name.
+    pub rule_counts: Vec<(String, u64)>,
+    /// Unified cross-layer performance snapshot at the end of the run.
+    pub perf: crate::telemetry::PerfSnapshot,
+    /// Coverage map (`Some` only under `XsConfig::coverage`).
+    pub coverage: Option<crate::coverage::CoverageMap>,
+    /// The always-on lifecycle ring, snapshotted at the end of the run.
+    pub lifecycle_ring: Vec<xscore::Lifecycle>,
+    /// The measured window.
+    pub window: SampleWindowStats,
+}
+
+/// How one warm-up/window phase of a sample run ended.
+enum PhaseEnd {
+    /// The phase's instruction target retired.
+    Reached,
+    /// Every hart halted; exit code of hart 0.
+    Halted(u64),
+    /// The shared cycle deadline arrived first.
+    OutOfCycles,
+    /// DiffTest diverged.
+    Bug(BugReport),
+}
+
+/// Drive `cosim` until core 0 has retired `target` instructions in
+/// total, every hart halts, or `deadline` (absolute cycle) arrives.
+fn run_phase_to_instret(cosim: &mut CoSim, target: u64, deadline: u64) -> PhaseEnd {
+    loop {
+        if cosim.state.sys.cores[0].instret() >= target {
+            return PhaseEnd::Reached;
+        }
+        if cosim.state.sys.all_halted() {
+            return PhaseEnd::Halted(cosim.state.sys.cores[0].halted.unwrap_or(0));
+        }
+        if cosim.state.time() >= deadline {
+            return PhaseEnd::OutOfCycles;
+        }
+        if let Err(error) = cosim.step_cycle_until(deadline) {
+            let at_cycle = cosim.state.time();
+            let at_commit = cosim.state.diff.commits_checked;
+            let replay = cosim.replay(&error);
+            return PhaseEnd::Bug(BugReport {
+                error,
+                at_cycle,
+                at_commit,
+                replay,
+            });
+        }
+    }
+}
+
+/// Resume a checkpoint on the cycle model inside a panic boundary, warm
+/// caches and predictors for `warmup` instructions, then measure a
+/// `window`-instruction detail window — the per-checkpoint half of the
+/// paper's §III-D3 sampled-performance flow. DiffTest (against the
+/// architectural stepper resumed from the same state) verifies every
+/// commit of both phases, and LightSSS rollback/replay applies to
+/// sample runs exactly as to from-reset runs.
+///
+/// # Errors
+///
+/// The panic payload (as text) if the simulation panicked.
+pub fn run_isolated_checkpoint(
+    cfg: XsConfig,
+    state: &ArchState,
+    memory: &SparseMemory,
+    warmup: u64,
+    window: u64,
+    max_cycles: u64,
+    lightsss_interval: Option<u64>,
+) -> (Result<SampleStats, String>, Option<Salvage>) {
+    let state = state.clone();
+    let memory = memory.clone();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut cosim = CoSim::from_checkpoint(cfg, &state, &memory);
+        if let Some(iv) = lightsss_interval {
+            cosim = cosim.with_lightsss(iv);
+        }
+        let deadline = cosim.state.time().saturating_add(max_cycles);
+
+        // Phase 1: warm-up. Caches, TLBs, and predictors start cold at a
+        // restore — the paper warms them before measuring for exactly
+        // this reason.
+        let warm_end = run_phase_to_instret(&mut cosim, warmup, deadline);
+        let warmup_cycles = cosim.state.time();
+        let warmup_instret = cosim.state.sys.cores[0].instret();
+        let warm_cpi = crate::telemetry::PerfSnapshot::collect(&cosim.state.sys).cpi_stack();
+
+        // Phase 2: the measured window (skipped if warm-up already ended
+        // the run).
+        let end = match warm_end {
+            PhaseEnd::Reached => {
+                match run_phase_to_instret(&mut cosim, warmup.saturating_add(window), deadline) {
+                    PhaseEnd::Reached => SampleEnd::Window,
+                    PhaseEnd::Halted(code) => SampleEnd::Halted(code),
+                    PhaseEnd::OutOfCycles => SampleEnd::OutOfCycles,
+                    PhaseEnd::Bug(bug) => SampleEnd::Bug(bug),
+                }
+            }
+            PhaseEnd::Halted(code) => SampleEnd::Halted(code),
+            PhaseEnd::OutOfCycles => SampleEnd::OutOfCycles,
+            PhaseEnd::Bug(bug) => SampleEnd::Bug(bug),
+        };
+
+        let salvage = match &end {
+            SampleEnd::OutOfCycles => Some(salvage_from(&cosim)),
+            SampleEnd::Bug(bug) if bug.replay.is_none() => Some(Salvage {
+                snapshot_cycle: 0,
+                fallback_reset: true,
+                state: (*cosim.reset).clone(),
+            }),
+            _ => None,
+        };
+        let end_cpi = crate::telemetry::PerfSnapshot::collect(&cosim.state.sys).cpi_stack();
+        let mut rule_counts: Vec<(String, u64)> = cosim
+            .state
+            .diff
+            .stats
+            .all()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        rule_counts.sort();
+        let perf = crate::telemetry::PerfSnapshot::collect(&cosim.state.sys);
+        let coverage = cosim.state.diff.coverage.as_ref().map(|commit| {
+            crate::coverage::CoverageMap::from_run(commit, &cosim.state.diff.stats, &perf)
+        });
+        let lifecycle_ring: Vec<xscore::Lifecycle> = cosim
+            .state
+            .sys
+            .cores
+            .iter()
+            .flat_map(|c| c.lifecycle_ring())
+            .collect();
+        (
+            SampleStats {
+                cycles: cosim.state.time(),
+                commits_checked: cosim.state.diff.commits_checked,
+                instret: cosim.state.sys.cores[0].instret(),
+                exceptions: cosim.state.sys.cores.iter().map(|c| c.perf.exceptions).sum(),
+                rule_counts,
+                perf,
+                coverage,
+                lifecycle_ring,
+                window: SampleWindowStats {
+                    warmup_cycles,
+                    warmup_instret,
+                    window_cycles: cosim.state.time().saturating_sub(warmup_cycles),
+                    window_instret: cosim
+                        .state
+                        .sys
+                        .cores[0]
+                        .instret()
+                        .saturating_sub(warmup_instret),
+                    cpi: end_cpi.saturating_sub(&warm_cpi),
+                },
+                end,
+            },
+            salvage,
+        )
+    })) {
+        Ok((stats, salvage)) => (Ok(stats), salvage),
+        Err(payload) => (Err(panic_message(payload)), None),
+    }
+}
+
 /// The preferred rollback start of a live harness: oldest retained
 /// snapshot, falling back to the reset state.
 fn salvage_from(cosim: &CoSim) -> Salvage {
@@ -639,6 +893,79 @@ mod tests {
         }
         // Either outcome is fine — the contract is only that a panic
         // never unwinds through `run_isolated`.
+    }
+
+    /// Run the architectural stepper to an arbitrary boundary and hand
+    /// back the state + memory a checkpoint would carry.
+    fn profile_to(program: &Program, insts: u64) -> (riscv_isa::state::ArchState, SparseMemory) {
+        let mut mem = SparseMemory::new();
+        program.load_into(&mut mem);
+        let mut hart = nemu::hart::Hart::new(program.entry, 0);
+        for _ in 0..insts {
+            assert!(!hart.is_halted(), "boundary must precede the halt");
+            nemu::hart::step(&mut hart, &mut mem);
+        }
+        (hart.state.clone(), mem)
+    }
+
+    #[test]
+    fn checkpoint_resume_measures_a_verified_window() {
+        let program = branchy_program();
+        let (state, mem) = profile_to(&program, 5_000);
+        let (res, salvage) =
+            run_isolated_checkpoint(tiny_cfg(1), &state, &mem, 1_000, 2_000, 500_000, None);
+        let stats = res.expect("no panic");
+        assert!(matches!(stats.end, SampleEnd::Window), "{:?}", stats.end);
+        assert!(salvage.is_none(), "window completion salvages nothing");
+        // Both phases hit their instruction targets (modulo event-driven
+        // overshoot) and every commit was verified against the REF.
+        assert!(stats.window.warmup_instret >= 1_000);
+        assert!(stats.window.window_instret >= 2_000);
+        assert_eq!(stats.instret, stats.window.warmup_instret + stats.window.window_instret);
+        assert!(stats.commits_checked >= stats.instret);
+        // The window CPI stack obeys the same identity as a full run's.
+        assert_eq!(
+            stats.window.cpi.total(),
+            stats.window.window_cycles * stats.perf.commit_width,
+            "window CPI stack must account for every window slot"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_catches_injected_bugs() {
+        // The restored REF must keep verifying commits: a DUT corrupted
+        // after the restore diverges inside the sample run.
+        let program = branchy_program();
+        let (state, mem) = profile_to(&program, 3_000);
+        let mut cfg = tiny_cfg(1);
+        cfg.injected_bug = Some(xscore::InjectedBug::MulLowBit);
+        let (res, _) = run_isolated_checkpoint(cfg, &state, &mem, 500, 2_000, 500_000, None);
+        let stats = res.expect("no panic");
+        assert!(
+            matches!(stats.end, SampleEnd::Bug(_)),
+            "expected a divergence, got {:?}",
+            stats.end
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_halts_cleanly_past_the_end() {
+        // A window larger than the remaining program: the run halts and
+        // reports the partial window instead of spinning.
+        let program = branchy_program();
+        let (state, mem) = profile_to(&program, 15_000);
+        let (res, _) = run_isolated_checkpoint(
+            tiny_cfg(1),
+            &state,
+            &mem,
+            1_000,
+            100_000_000,
+            500_000,
+            None,
+        );
+        let stats = res.expect("no panic");
+        assert!(matches!(stats.end, SampleEnd::Halted(_)), "{:?}", stats.end);
+        assert!(stats.window.window_instret > 0, "partial window measured");
     }
 
     #[test]

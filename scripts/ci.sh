@@ -36,7 +36,14 @@
 #      machine-dependent); the golden_bench pins pass, and a 12-job
 #      campaign with the superblock trace tier as the DiffTest REF runs
 #      to completion twice with byte-identical deterministic report
-#      bodies.
+#      bodies,
+#  10. a sampling smoke — `campaign --sample` profiles one kernel,
+#      materializes at least 2 checkpoints into a reuse directory, fans
+#      the sample jobs through the worker pool, and exits 0 with a
+#      schema-clean `sampling` section; every sample window obeys the
+#      top-down identity (CPI-stack sum == window cycles x commit
+#      width), and a second run answering from the checkpoint cache
+#      emits a byte-identical deterministic report body.
 #
 # The campaign step is what the paper calls the verification flow: any
 # DUT regression that makes a workload diverge, hang, or panic fails
@@ -68,7 +75,7 @@ timeout 600 target/release/campaign \
 python3 - "$report" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 5, r["schema_version"]
+assert r["schema_version"] == 6, r["schema_version"]
 s = r["summary"]
 assert s["total"] == 12 and s["halted"] == 12, s
 assert len(r["jobs"]) == 12
@@ -144,7 +151,7 @@ fi
 bundle_file="$(python3 - "$triage_report" "$bundle_dir" <<'EOF'
 import json, os, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 5, r["schema_version"]
+assert r["schema_version"] == 6, r["schema_version"]
 diverged = [j for j in r["jobs"] if "Diverged" in j["verdict"]]
 assert diverged, "injected bug produced no divergence"
 bundled = [j for j in diverged if j.get("triage")]
@@ -192,13 +199,13 @@ fi
 life_bundle="$(python3 - "$life_report" "$life_bundles" <<'EOF'
 import json, os, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema_version"] == 5, r["schema_version"]
+assert r["schema_version"] == 6, r["schema_version"]
 assert len(r["jobs"]) == 12, len(r["jobs"])
 bundled = [j for j in r["jobs"] if j.get("triage")]
 assert bundled, "injected bug produced no triage bundle"
 for j in bundled:
     b = j["triage"]
-    assert b["schema_version"] == 4, b["schema_version"]
+    assert b["schema_version"] == 5, b["schema_version"]
     ring = b["lifecycle_ring"]
     assert ring, f"job {j['index']}: bundle has an empty crash ring"
     assert len(ring) <= 64, f"job {j['index']}: ring overflows its cap: {len(ring)}"
@@ -236,7 +243,7 @@ python3 - "$life_a" "$life_b" <<'EOF'
 import json, sys
 a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
-assert a["schema_version"] == 5, a["schema_version"]
+assert a["schema_version"] == 6, a["schema_version"]
 for r in (a, b):
     del r["timing"]
 assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
@@ -268,7 +275,7 @@ python3 - "$fuzz_a" "$fuzz_b" <<'EOF'
 import json, sys
 a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
-assert a["schema_version"] == 5, a["schema_version"]
+assert a["schema_version"] == 6, a["schema_version"]
 for r in (a, b):
     del r["timing"]
 assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
@@ -343,7 +350,7 @@ python3 - "$mp_a" "$mp_b" <<'EOF'
 import json, sys
 a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
-assert a["schema_version"] == 5, a["schema_version"]
+assert a["schema_version"] == 6, a["schema_version"]
 for r in (a, b):
     del r["timing"]
 assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
@@ -412,7 +419,7 @@ python3 - "$bench_json" BENCH_fig8.json <<'EOF'
 import json, math, sys
 r = json.load(open(sys.argv[1]))
 committed = json.load(open(sys.argv[2]))
-assert r["schema_version"] == 3, r["schema_version"]
+assert r["schema_version"] == 4, r["schema_version"]
 assert r["figure"] == "fig8"
 ps = r["personalities"]
 assert len(ps) >= 5, f"personality set shrank: {sorted(ps)}"
@@ -478,5 +485,63 @@ assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
     "--ref nemu-trace campaign bodies differ between identical runs"
 print("trace-REF campaign OK:", s)
 EOF
+
+echo "== tier-1: sampling smoke (checkpoint farm -> weighted CPI) =="
+sample_a="$(mktemp /tmp/sample-smoke-a.XXXXXX.json)"
+sample_b="$(mktemp /tmp/sample-smoke-b.XXXXXX.json)"
+ckpt_dir="$(mktemp -d /tmp/sample-ckpts.XXXXXX)"
+trap 'rm -f "$report" "$perf_report_json" "$perf_snapshot" "$triage_report" "$life_a" "$life_b" "$fuzz_a" "$fuzz_b" "$fuzz_bug" "$mp_a" "$mp_b" "$mp_race" "$bench_json" "$trace_a" "$trace_b" "$sample_a" "$sample_b"; rm -rf "$bundle_dir" "$fuzz_bundles" "$mp_bundles" "$ckpt_dir"' EXIT
+# Two identical farms sharing one checkpoint directory: the first
+# profiles and materializes the blobs, the second must answer from the
+# cache, and both deterministic bodies must agree byte for byte.
+for f in "$sample_a" "$sample_b"; do
+    timeout 600 target/release/campaign \
+        --sample \
+        --workloads sjeng \
+        --configs small-nh,small-yqh \
+        --interval 5000 \
+        --max-checkpoints 3 \
+        --checkpoint-dir "$ckpt_dir" \
+        --workers 3 \
+        --out "$f"
+done
+
+blobs=$(ls "$ckpt_dir"/*.ckpt 2>/dev/null | wc -l)
+if [ "$blobs" -lt 2 ]; then
+    echo "sampling smoke: expected >= 2 checkpoint blobs in $ckpt_dir, got $blobs" >&2
+    exit 1
+fi
+
+python3 - "$sample_a" "$sample_b" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a["schema_version"] == 6, a["schema_version"]
+sampling = a["sampling"]
+assert len(sampling) == 2, f"one summary per config cell: {len(sampling)}"
+for sm in sampling:
+    assert sm["workload"] == "kernel:sjeng" and sm["ref_model"] == "nemu-trace", sm
+    assert sm["checkpoints"] >= 2 and sm["aggregated"] >= 2, sm
+    assert 0 < sm["weighted_cpi_milli"] < 50_000, sm
+    assert sum(p["members"] for p in sm["phases"]) <= sm["total_intervals"], sm
+# Every measured window obeys the top-down identity exactly.
+sampled_jobs = [j for j in a["jobs"] if j.get("sample")]
+assert sampled_jobs, "no sample records in the report"
+for j in sampled_jobs:
+    s = j["sample"]
+    if s["window_cycles"] == 0:
+        continue
+    stack = sum(s["cpi_stack"].values())
+    width = j["perf"]["commit_width"]
+    assert stack == s["window_cycles"] * width, \
+        f"job {j['index']}: CPI-stack sum {stack} != {s['window_cycles']} x {width}"
+for r in (a, b):
+    del r["timing"]
+assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True), \
+    "sampled campaign bodies differ between identical runs (cache round-trip)"
+print("sampling smoke OK:",
+      {f"{sm['config']}": sm["weighted_cpi_milli"] for sm in sampling})
+EOF
+target/release/perf_report "$sample_a" > /dev/null
 
 echo "== tier-1 gate passed =="

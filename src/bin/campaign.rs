@@ -12,6 +12,10 @@
 //! campaign --fuzz [--rounds N] [--fuzz-jobs N] [--fuzz-seed N]
 //!          [--mp] [--inject-l2-race]
 //!          [--corpus-dir DIR] [--configs ...] [the flags above]
+//! campaign --sample --workloads k1,k2 [--configs ...]
+//!          [--ref nemu-trace] [--interval N] [--max-checkpoints K]
+//!          [--warmup N] [--window N] [--checkpoint-dir DIR]
+//!          [--workers N] [--max-cycles N] [--lightsss N] [--out FILE]
 //! ```
 //!
 //! The job list is the cross product of every named workload and every
@@ -19,11 +23,16 @@
 //! deterministic for a given command line. `--fuzz` replaces the fixed
 //! matrix with a coverage-guided campaign: rounds of torture recipes
 //! scheduled by coverage novelty, with the surviving corpus written to
-//! `--corpus-dir` as one JSON recipe per file. Exit status: 0 when
-//! every job halts, 1 on any divergence/timeout/panic, 2 on usage
-//! errors.
+//! `--corpus-dir` as one JSON recipe per file. `--sample` runs the
+//! checkpoint farm instead: each workload is profiled on the `--ref`
+//! personality, SimPoint clustering picks representative intervals
+//! (checkpoints cached under `--checkpoint-dir` by content hash), and
+//! one warm-up + detail-window job per checkpoint × config fans across
+//! the pool, aggregating to weighted CPI in the report's `sampling`
+//! section. Exit status: 0 when every job halts or samples cleanly,
+//! 1 on any divergence/timeout/panic, 2 on usage errors.
 
-use campaign::{run_fuzz, Campaign, FuzzOpts, JobSpec, Verdict, WorkloadSource};
+use campaign::{run_fuzz, run_sampled, Campaign, FuzzOpts, JobSpec, SampleSpec, Verdict, WorkloadSource};
 use minjie::AnyRef;
 use workloads::TortureConfig;
 use xscore::{InjectedBug, XsConfig};
@@ -41,6 +50,9 @@ fn usage(err: &str) -> ! {
          \x20      campaign --fuzz [--rounds N] [--fuzz-jobs N] [--fuzz-seed N]\n\
          \x20               [--mp] [--inject-l2-race]\n\
          \x20               [--corpus-dir DIR] [--configs c1,c2] [shared flags above]\n\
+         \x20      campaign --sample --workloads k1,k2 [--configs c1,c2] [--ref NAME]\n\
+         \x20               [--interval N] [--max-checkpoints K] [--warmup N] [--window N]\n\
+         \x20               [--checkpoint-dir DIR] [shared flags above]\n\
          kernels: {}\n\
          configs: {}\n\
          refs: {}",
@@ -72,6 +84,12 @@ fn main() {
     let mut max_cycles: Option<u64> = None;
     let mut lightsss: Option<u64> = None;
     let mut fuzz = false;
+    let mut sample = false;
+    let mut interval: Option<u64> = None;
+    let mut max_checkpoints: Option<usize> = None;
+    let mut warmup: Option<u64> = None;
+    let mut window: Option<u64> = None;
+    let mut checkpoint_dir: Option<String> = None;
     let mut rounds = 2u64;
     let mut fuzz_jobs = 8usize;
     let mut fuzz_seed = 0u64;
@@ -113,6 +131,21 @@ fn main() {
                     Some(value().parse().unwrap_or_else(|_| usage("bad --max-cycles")));
             }
             "--fuzz" => fuzz = true,
+            "--sample" => sample = true,
+            "--interval" => {
+                interval = Some(value().parse().unwrap_or_else(|_| usage("bad --interval")));
+            }
+            "--max-checkpoints" => {
+                max_checkpoints =
+                    Some(value().parse().unwrap_or_else(|_| usage("bad --max-checkpoints")));
+            }
+            "--warmup" => {
+                warmup = Some(value().parse().unwrap_or_else(|_| usage("bad --warmup")));
+            }
+            "--window" => {
+                window = Some(value().parse().unwrap_or_else(|_| usage("bad --window")));
+            }
+            "--checkpoint-dir" => checkpoint_dir = Some(value()),
             "--rounds" => {
                 rounds = value().parse().unwrap_or_else(|_| usage("bad --rounds"));
             }
@@ -219,6 +252,53 @@ fn main() {
             eprintln!("corpus: {} recipes in {dir}", outcome.corpus.len());
         }
         outcome.report
+    } else if sample {
+        if kernels.is_empty() {
+            usage("--sample profiles named workloads: give --workloads");
+        }
+        if !seeds.is_empty() {
+            usage("--sample runs checkpoints, not torture seeds: drop --torture-seeds");
+        }
+        if ref_model.as_deref() == Some("arch") {
+            usage("--sample profiles on a registry personality (nemu, nemu-trace, ...), not `arch`");
+        }
+        let mut s = SampleSpec::new(kernels.clone(), configs.clone()).with_workers(workers);
+        if let Some(r) = &ref_model {
+            s = s.with_ref(r.clone());
+        }
+        if let Some(i) = interval {
+            s = s.with_interval(i);
+        }
+        if let Some(k) = max_checkpoints {
+            s = s.with_max_checkpoints(k);
+        }
+        if let Some(w) = warmup {
+            s = s.with_warmup(w);
+        }
+        if let Some(w) = window {
+            s = s.with_window(w);
+        }
+        if let Some(c) = max_cycles {
+            s = s.with_max_cycles(c);
+        }
+        if let Some(d) = &checkpoint_dir {
+            s = s.with_checkpoint_dir(d);
+        }
+        s.lightsss_interval = lightsss;
+        s.triage = triage;
+        eprintln!(
+            "sample campaign: {} workloads x {} configs on {} workers \
+             (ref {}, interval {}, k<={}, warmup {}, window {})",
+            s.workloads.len(),
+            s.configs.len(),
+            s.workers,
+            s.ref_model,
+            s.interval_len,
+            s.max_checkpoints,
+            s.warmup,
+            s.window
+        );
+        run_sampled(&s)
     } else {
         if mp {
             usage("--mp schedules litmus recipes: it requires --fuzz");
@@ -334,10 +414,24 @@ fn main() {
             j.ipc
         );
     }
+    for sm in &report.sampling {
+        eprintln!(
+            "  sampling {:<24} {:<10} weighted CPI {}.{:03} \
+             ({}/{} checkpoints aggregated over {} intervals)",
+            sm.workload,
+            sm.config,
+            sm.weighted_cpi_milli / 1000,
+            sm.weighted_cpi_milli % 1000,
+            sm.aggregated,
+            sm.checkpoints,
+            sm.total_intervals
+        );
+    }
     let s = &report.summary;
     eprintln!(
-        "summary: {} jobs — {} halted, {} diverged, {} forbidden, {} timeout, {} panicked ({} ms)",
-        s.total, s.halted, s.diverged, s.forbidden, s.timeout, s.panicked,
+        "summary: {} jobs — {} halted, {} diverged, {} forbidden, {} sampled, {} timeout, \
+         {} panicked ({} ms)",
+        s.total, s.halted, s.diverged, s.forbidden, s.sampled, s.timeout, s.panicked,
         report.wall_clock.total_ms
     );
 
@@ -349,7 +443,7 @@ fn main() {
         }
         None => println!("{json}"),
     }
-    if s.halted != s.total {
+    if s.halted + s.sampled != s.total {
         std::process::exit(1);
     }
 }

@@ -11,13 +11,16 @@
 //! written by the CI perf-smoke step). `--lifecycle` additionally
 //! renders each snapshot's lifecycle digest (per-stage gap histograms,
 //! squash causes, dominant-stall attribution) and cross-checks it
-//! against the CPI-stack layer. Exit status: 0 on success, 1 if any
-//! rendered snapshot violates the top-down CPI identity or the
-//! digest/CPI cross-check, 2 on usage or parse errors.
+//! against the CPI-stack layer. A report with a `sampling` section
+//! (`campaign --sample`) additionally gets a per-phase CPI-stack table:
+//! one row per checkpoint with its weight, window CPI, and top-down
+//! slot shares, footed by the weighted estimate. Exit status: 0 on
+//! success, 1 if any rendered snapshot violates the top-down CPI
+//! identity or the digest/CPI cross-check, 2 on usage or parse errors.
 //!
 //! [`PerfSnapshot`]: minjie::PerfSnapshot
 
-use campaign::JobRecord;
+use campaign::{JobRecord, SamplingSummary};
 use minjie::PerfSnapshot;
 use serde::Deserialize;
 use serde_json::Value;
@@ -26,6 +29,58 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!("usage: perf_report REPORT.json [--job N] [--lifecycle]");
     std::process::exit(2);
+}
+
+/// Render one sampling summary as a per-phase CPI-stack table: one row
+/// per checkpoint (its weight, window CPI, and the share of each
+/// top-down slot class over the measured window), footed by the
+/// weighted CPI estimate.
+fn render_sampling(sm: &SamplingSummary, jobs: &[JobRecord]) {
+    println!(
+        "=== sampling {} {} (ref {}, interval {}, {} intervals profiled) ===",
+        sm.workload, sm.config, sm.ref_model, sm.interval_len, sm.total_intervals
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>8}  {:>7}  {}",
+        "phase", "interval", "members", "weight%", "cpi", "top-down slot shares"
+    );
+    for p in &sm.phases {
+        let Some(s) = jobs
+            .iter()
+            .find(|j| j.index == p.job_index)
+            .and_then(|j| j.sample.as_ref())
+        else {
+            continue;
+        };
+        let total = s.cpi_stack.total().max(1);
+        let shares = s
+            .cpi_stack
+            .components()
+            .iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(name, v)| format!("{name} {}%", 100 * v / total))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!(
+            "{:>8} {:>8} {:>8} {:>8}  {:>3}.{:03}  {}",
+            p.job_index,
+            p.interval,
+            p.members,
+            100 * p.members / sm.total_intervals.max(1),
+            p.cpi_milli / 1000,
+            p.cpi_milli % 1000,
+            shares
+        );
+    }
+    println!(
+        "{:>35}  {:>3}.{:03}  ({}/{} checkpoints aggregated)",
+        "weighted",
+        sm.weighted_cpi_milli / 1000,
+        sm.weighted_cpi_milli % 1000,
+        sm.aggregated,
+        sm.checkpoints
+    );
+    println!();
 }
 
 /// Render the lifecycle digest section of one snapshot; returns false
@@ -102,6 +157,13 @@ fn main() {
         }
         if rendered == 0 {
             usage(&format!("no matching job in {path}"));
+        }
+        if let Some(sampling) = value.get("sampling") {
+            let summaries: Vec<SamplingSummary> = Deserialize::deserialize(sampling)
+                .unwrap_or_else(|e| usage(&format!("parse sampling in {path}: {e:?}")));
+            for sm in &summaries {
+                render_sampling(sm, &jobs);
+            }
         }
     } else {
         // A bare PerfSnapshot artifact (CI perf-smoke output).

@@ -864,6 +864,82 @@ fn rv64a_amo_matrix_all_widths_aqrl() {
     assert_eq!(conform(&a.assemble()), model_a0.wrapping_add(model_cell));
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint restore (paper Fig. 9): the ISA-level restore loader is
+// interpreter-agnostic
+// ---------------------------------------------------------------------
+
+/// A checkpoint restored through `Checkpoint::restore_loader` — base-ISA
+/// instructions only, no debug mode — must behave identically on every
+/// registered personality: each one boots the loader over the checkpoint
+/// image, lands on the checkpointed pc, and after one further profiling
+/// interval of execution agrees on (pc, gprs, fprs, instructions) both
+/// mutually and with a raw NEMU hart that ran the workload from the
+/// beginning. This pins the whole sampling premise: a checkpoint is the
+/// program, not an artifact of the engine that produced it.
+#[test]
+fn checkpoint_restore_conforms_across_personalities() {
+    use nemu::hart::{self, Hart};
+
+    let interval_len: u64 = 5_000;
+    let program = workloads::workload("mcf", workloads::Scale::Test).program;
+    let set =
+        checkpoint::generate_checkpoints_with_ref("nemu-trace", &program, interval_len, 3, 50_000_000);
+    // A mid-run checkpoint: live GPRs/FPRs/CSRs, and at least one full
+    // interval of execution still ahead of it.
+    let c = set
+        .checkpoints
+        .iter()
+        .filter(|c| (c.interval as u64) + 1 < set.total_intervals)
+        .max_by_key(|c| c.interval)
+        .expect("a mid-run checkpoint exists");
+    assert!(c.instret > 0, "checkpoint must not be the reset state");
+
+    // Reference continuation: a raw hart stepped from program start for
+    // instret + interval_len instructions.
+    let mut ref_mem = riscv_isa::mem::SparseMemory::new();
+    program.load_into(&mut ref_mem);
+    let mut ref_hart = Hart::new(program.entry, 0);
+    while ref_hart.instret < c.instret + interval_len && !ref_hart.is_halted() {
+        hart::step(&mut ref_hart, &mut ref_mem);
+    }
+    let ref_executed = ref_hart.instret - c.instret;
+
+    let loader = c.restore_loader();
+    for pers in PERSONALITIES {
+        let mut e = (pers.build)(&loader);
+        // The restored address space: the checkpoint image with the
+        // loader (code + fpr staging table) planted beside it.
+        let mut mem = c.memory.clone();
+        loader.load_into(&mut mem);
+        *e.mem_mut() = mem;
+        // Phase 1: the loader rebuilds the state and mrets to the pc.
+        let mut fuel = 100_000u64;
+        while e.hart().state.pc != c.state.pc {
+            assert!(fuel > 0, "{}: loader never reached the pc", pers.name);
+            assert!(!e.hart().is_halted(), "{}: loader halted early", pers.name);
+            e.step_one();
+            fuel -= 1;
+        }
+        assert_eq!(e.hart().state.gpr, c.state.gpr, "{}: restored gprs", pers.name);
+        assert_eq!(e.hart().state.fpr, c.state.fpr, "{}: restored fprs", pers.name);
+        // Phase 2: one profiling interval of real workload execution.
+        let base = e.hart().instret;
+        while e.hart().instret - base < interval_len && !e.hart().is_halted() {
+            e.step_one();
+        }
+        assert_eq!(
+            e.hart().instret - base,
+            ref_executed,
+            "{}: executed a different interval",
+            pers.name
+        );
+        assert_eq!(e.hart().state.pc, ref_hart.state.pc, "{}: pc after interval", pers.name);
+        assert_eq!(e.hart().state.gpr, ref_hart.state.gpr, "{}: gprs after interval", pers.name);
+        assert_eq!(e.hart().state.fpr, ref_hart.state.fpr, "{}: fprs after interval", pers.name);
+    }
+}
+
 /// SC without a prior LR fails; SC to a different reservation granule
 /// than the LR fails and leaves memory intact; a failed SC consumes the
 /// reservation, so the next LR/SC pair (with aq/rl set) succeeds.

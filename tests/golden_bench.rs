@@ -124,5 +124,21 @@ fn committed_report_pins_speed_ordering() {
         );
         let k = fig8::kilocycles_per_sec_of(&report, preset).expect("rate");
         assert!(k > 0.0, "{preset}: bad sim rate {k}");
+        // The checkpoint-farm accuracy tier: the SimPoint-weighted CPI
+        // estimate must be plausible and inside the per-mille error
+        // gate against the full simulation (validate() enforces the
+        // gate; the plausibility band catches a broken estimate that
+        // happens to sit near a broken baseline).
+        let sampled = fig8::sampled_cpi_milli_of(&report, preset)
+            .unwrap_or_else(|| panic!("{preset}: missing sampled_cpi_milli"));
+        assert!(
+            (200..50_000).contains(&sampled),
+            "{preset}: sampled CPI {sampled} milli-units is implausible"
+        );
+        let err = fig8::sampled_cpi_err_milli_of(&report, preset).expect("sampled error");
+        assert!(
+            err <= fig8::SAMPLED_ERR_BOUND_MILLI,
+            "{preset}: sampled CPI error {err} per mille exceeds the gate"
+        );
     }
 }
